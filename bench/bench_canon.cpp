@@ -1,0 +1,114 @@
+// PERF: substrate micro-benchmarks for the isomorphism engine (google
+// benchmark).  COMPUTE&ORDER's cost is dominated by canonical forms; the
+// paper flags this ("graph-isomorphism is not known to be in P"), so we
+// measure it explicitly across symmetry regimes.
+#include <benchmark/benchmark.h>
+
+#include "qelect/core/surrounding.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/iso/automorphism.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/iso/refinement.hpp"
+
+namespace {
+
+using namespace qelect;
+
+iso::ColoredDigraph plain(const graph::Graph& g) {
+  return iso::from_bicolored_graph(
+      g, graph::Placement::empty(g.node_count()));
+}
+
+void BM_CanonicalRing(benchmark::State& state) {
+  const auto d = plain(graph::ring(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::canonical_certificate(d));
+  }
+}
+BENCHMARK(BM_CanonicalRing)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CanonicalHypercube(benchmark::State& state) {
+  const auto d =
+      plain(graph::hypercube(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::canonical_certificate(d));
+  }
+}
+BENCHMARK(BM_CanonicalHypercube)->Arg(3)->Arg(4);
+
+void BM_CanonicalComplete(benchmark::State& state) {
+  // The automorphism-pruning stress test (n! leaves without it).
+  const auto d =
+      plain(graph::complete(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::canonical_certificate(d));
+  }
+}
+BENCHMARK(BM_CanonicalComplete)->Arg(6)->Arg(8);
+
+void BM_CanonicalPetersen(benchmark::State& state) {
+  const auto d = plain(graph::petersen());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::canonical_certificate(d));
+  }
+}
+BENCHMARK(BM_CanonicalPetersen);
+
+void BM_CanonicalRandom(benchmark::State& state) {
+  const auto d = plain(graph::random_connected(
+      static_cast<std::size_t>(state.range(0)), 0.2, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::canonical_certificate(d));
+  }
+}
+BENCHMARK(BM_CanonicalRandom)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Refinement(benchmark::State& state) {
+  const auto d = plain(graph::random_connected(
+      static_cast<std::size_t>(state.range(0)), 0.2, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::refine(d));
+  }
+}
+BENCHMARK(BM_Refinement)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AutomorphismEnumerationPetersen(benchmark::State& state) {
+  const auto d = plain(graph::petersen());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iso::all_automorphisms(d));
+  }
+}
+BENCHMARK(BM_AutomorphismEnumerationPetersen);
+
+// Ablation: the automorphism-pruning design choice (DESIGN.md).  Without
+// pruning the search on K_7 walks all 7! = 5040 leaves; with it, a few
+// dozen.  Certificates are identical either way (asserted in the tests).
+void BM_AblationPruning(benchmark::State& state) {
+  const bool pruning = state.range(0) != 0;
+  const auto d = plain(graph::complete(7));
+  iso::CanonicalOptions options;
+  options.automorphism_pruning = pruning;
+  std::size_t leaves = 0;
+  for (auto _ : state) {
+    const auto form = iso::canonical_form(d, options);
+    leaves = form.leaves_evaluated;
+    benchmark::DoNotOptimize(form.certificate);
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+}
+BENCHMARK(BM_AblationPruning)->Arg(1)->Arg(0);
+
+void BM_SurroundingClasses(benchmark::State& state) {
+  // The COMPUTE&ORDER core: classes of a bicolored torus.
+  const graph::Graph g = graph::torus({4, 4});
+  const graph::Placement p(16, {0, 5, 10});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::surrounding_classes(g, p));
+  }
+}
+BENCHMARK(BM_SurroundingClasses);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Experiment F5: regenerate Figure 5 -- the Petersen counterexample.
+//
+// Prints the class decomposition (sizes 2, 4, 4 as in the figure's
+// black/gray/white coloring), shows ELECT giving up, and runs the ad-hoc
+// protocol across many seeds and schedulers to confirm it always elects
+// (with the win split showing the race is genuinely scheduler-decided).
+#include <cstdio>
+
+#include "qelect/cayley/recognition.hpp"
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/core/petersen.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/sim/world.hpp"
+#include "qelect/util/table.hpp"
+
+int main() {
+  using namespace qelect;
+  std::printf("== F5: Figure 5 (Petersen) reproduction ==\n\n");
+  const graph::Graph g = graph::petersen();
+  const graph::Placement p(10, {0, 5});
+
+  const auto plan = core::protocol_plan(g, p);
+  TextTable tc("equivalence classes of (Petersen, {0,5})",
+               {"class", "size", "members (paper: black/gray/white)"});
+  for (std::size_t i = 0; i < plan.classes.size(); ++i) {
+    std::string members;
+    for (auto v : plan.classes[i]) members += std::to_string(v) + " ";
+    tc.add_row({std::to_string(i + 1), std::to_string(plan.sizes[i]),
+                members});
+  }
+  tc.print();
+  std::printf("gcd = %llu (paper: gcd(|C_b|,|C_g|,|C_w|) = 2)\n",
+              (unsigned long long)plan.final_gcd);
+  const auto rec = cayley::recognize_cayley(g);
+  std::printf("vertex-transitive, |Aut| = %zu, Cayley: %s\n\n",
+              rec.aut_order, rec.is_cayley ? "yes" : "no");
+
+  // ELECT gives up...
+  {
+    sim::World w(g, p, 5);
+    const auto r = w.run(core::make_elect_protocol(), {});
+    std::printf("ELECT outcome: %s (total moves %zu)\n",
+                r.clean_failure() ? "failure detected" : "UNEXPECTED",
+                r.total_moves);
+  }
+
+  // ...the 5-step protocol does not.
+  std::size_t elections = 0, agent0_wins = 0, total = 0;
+  std::size_t max_moves = 0;
+  for (const sim::SchedulerPolicy policy :
+       {sim::SchedulerPolicy::Random, sim::SchedulerPolicy::RoundRobin,
+        sim::SchedulerPolicy::Lockstep}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      sim::World w(g, p, seed);
+      sim::RunConfig cfg;
+      cfg.policy = policy;
+      cfg.seed = seed;
+      const auto r = w.run(core::make_petersen_protocol(), cfg);
+      ++total;
+      if (r.clean_election()) ++elections;
+      if (r.agents[0].status == sim::AgentStatus::Leader) ++agent0_wins;
+      max_moves = std::max(max_moves, r.total_moves);
+    }
+  }
+  std::printf(
+      "ad-hoc protocol: %zu/%zu clean elections across schedulers+seeds; "
+      "agent-at-node-0 won %zu (race is scheduler-decided); max moves %zu\n",
+      elections, total, agent0_wins, max_moves);
+  std::printf("=> ELECT is not effectual on arbitrary (even vertex-"
+              "transitive) graphs; the Petersen instance separates them\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation: the adversary's influence on protocol cost.
+//
+// Correctness of ELECT is scheduler-independent (tested); its *cost* is
+// not guaranteed to be.  This bench quantifies the spread: total moves and
+// steps under Random, RoundRobin, and Lockstep scheduling on fixed
+// instances, plus the mobile-vs-message-passing (Figure 1) execution
+// models side by side.
+#include <cstdio>
+
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/sim/message_world.hpp"
+#include "qelect/sim/world.hpp"
+#include "qelect/util/table.hpp"
+
+namespace {
+
+using namespace qelect;
+
+const char* policy_name(sim::SchedulerPolicy p) {
+  switch (p) {
+    case sim::SchedulerPolicy::Random:
+      return "random";
+    case sim::SchedulerPolicy::RoundRobin:
+      return "round-robin";
+    case sim::SchedulerPolicy::Lockstep:
+      return "lockstep";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== scheduler / execution-model ablation for ELECT ==\n\n");
+
+  struct Inst {
+    std::string name;
+    graph::Graph g;
+    graph::Placement p;
+  };
+  std::vector<Inst> insts;
+  insts.push_back({"C8 {0,3}", graph::ring(8), graph::Placement(8, {0, 3})});
+  insts.push_back({"Q3 {0,3,5}", graph::hypercube(3),
+                   graph::Placement(8, {0, 3, 5})});
+  insts.push_back({"T33 {0,4}", graph::torus({3, 3}),
+                   graph::Placement(9, {0, 4})});
+
+  TextTable table("cost per scheduler (mobile World)",
+                  {"instance", "policy", "outcome", "moves", "steps"});
+  for (const Inst& inst : insts) {
+    for (const auto policy :
+         {sim::SchedulerPolicy::Random, sim::SchedulerPolicy::RoundRobin,
+          sim::SchedulerPolicy::Lockstep}) {
+      std::size_t moves = 0, steps = 0, runs = 0;
+      std::string outcome;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        sim::World w(inst.g, inst.p, seed);
+        sim::RunConfig cfg;
+        cfg.policy = policy;
+        cfg.seed = seed;
+        const auto r = w.run(core::make_elect_protocol(), cfg);
+        if (!r.completed) continue;
+        moves += r.total_moves;
+        steps += r.steps;
+        ++runs;
+        outcome = r.clean_election() ? "elect" : "fail-detect";
+      }
+      table.add_row({inst.name, policy_name(policy), outcome,
+                     std::to_string(moves / runs),
+                     std::to_string(steps / runs)});
+    }
+  }
+  table.print();
+
+  TextTable models("mobile vs message-passing (Figure 1), random scheduler",
+                   {"instance", "model", "moves", "peak in-transit"});
+  for (const Inst& inst : insts) {
+    {
+      sim::World w(inst.g, inst.p, 5);
+      const auto r = w.run(core::make_elect_protocol(), {});
+      models.add_row({inst.name, "mobile", std::to_string(r.total_moves),
+                      "-"});
+    }
+    {
+      sim::MessageWorld w(inst.g, inst.p, 5);
+      const auto r = w.run(core::make_elect_protocol(), {});
+      models.add_row({inst.name, "message", std::to_string(r.total_moves),
+                      std::to_string(r.max_in_transit)});
+    }
+  }
+  models.print();
+  std::printf(
+      "\nmoves are scheduler-insensitive (the protocol's tours are fixed by\n"
+      "the maps); steps vary with interleaving.  The Figure 1 transformation\n"
+      "preserves the move count exactly -- moves ARE the messages.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// PERF: simulator throughput -- scheduler steps per second, map drawing,
+// and end-to-end ELECT, so protocol-level numbers can be put in context.
+#include <benchmark/benchmark.h>
+
+#include "qelect/core/elect.hpp"
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace {
+
+using namespace qelect;
+
+// Raw stepping: agents that just walk.
+void BM_SchedulerSteps(benchmark::State& state) {
+  const std::size_t n = 32;
+  graph::Graph g = graph::ring(n);
+  graph::Placement p(n, {0, 8, 16, 24});
+  sim::World w(std::move(g), std::move(p), 1);
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto r = w.run(
+        [hops](sim::AgentCtx& ctx) -> sim::Behavior {
+          for (std::size_t i = 0; i < hops; ++i) co_await ctx.move(0);
+        },
+        {});
+    steps += r.steps;
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SchedulerSteps)->Arg(256)->Arg(1024);
+
+void BM_MapDrawing(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  graph::Graph g = graph::hypercube(d);
+  graph::Placement p(g.node_count(), {0});
+  sim::World w(std::move(g), std::move(p), 1);
+  for (auto _ : state) {
+    const auto r = w.run(
+        [](sim::AgentCtx& ctx) -> sim::Behavior {
+          benchmark::DoNotOptimize(co_await core::map_drawing(ctx));
+        },
+        {});
+    benchmark::DoNotOptimize(r.total_moves);
+  }
+}
+BENCHMARK(BM_MapDrawing)->Arg(3)->Arg(4)->Arg(5);
+
+// Exploration ablation: DFS (the paper's traversal) vs BFS frontier
+// probing.  The counter reports moves per run; DFS stays ~4|E| while BFS
+// pays the navigation tax.
+void BM_MapDrawingBfs(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  graph::Graph g = graph::hypercube(d);
+  graph::Placement p(g.node_count(), {0});
+  sim::World w(std::move(g), std::move(p), 1);
+  std::size_t moves = 0;
+  for (auto _ : state) {
+    const auto r = w.run(
+        [](sim::AgentCtx& ctx) -> sim::Behavior {
+          benchmark::DoNotOptimize(co_await core::map_drawing_bfs(ctx));
+        },
+        {});
+    moves = r.total_moves;
+  }
+  state.counters["moves"] = static_cast<double>(moves);
+}
+BENCHMARK(BM_MapDrawingBfs)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ElectEndToEnd(benchmark::State& state) {
+  graph::Graph g = graph::ring(static_cast<std::size_t>(state.range(0)));
+  graph::Placement p(g.node_count(), {0, 2});
+  sim::World w(std::move(g), std::move(p), 5);
+  for (auto _ : state) {
+    const auto r = w.run(core::make_elect_protocol(), {});
+    benchmark::DoNotOptimize(r.completed);
+  }
+}
+BENCHMARK(BM_ElectEndToEnd)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ElectManyAgents(benchmark::State& state) {
+  graph::Graph g = graph::hypercube(3);
+  graph::Placement p(8, {0, 1, 2, 3, 4, 5, 6, 7});
+  sim::World w(std::move(g), std::move(p), 5);
+  for (auto _ : state) {
+    const auto r = w.run(core::make_elect_protocol(), {});
+    benchmark::DoNotOptimize(r.completed);
+  }
+}
+BENCHMARK(BM_ElectManyAgents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

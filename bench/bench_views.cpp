@@ -1,0 +1,69 @@
+// PERF: view machinery micro-benchmarks -- refinement-based ~view classes,
+// explicit truncated view trees, and symmetricity.
+#include <benchmark/benchmark.h>
+
+#include "qelect/graph/families.hpp"
+#include "qelect/group/cayley_graph.hpp"
+#include "qelect/views/symmetricity.hpp"
+#include "qelect/views/views.hpp"
+
+namespace {
+
+using namespace qelect;
+
+void BM_ViewColoringRing(benchmark::State& state) {
+  const graph::Graph g = graph::ring(static_cast<std::size_t>(state.range(0)));
+  const graph::Placement p(g.node_count(), {0});
+  const auto l = graph::EdgeLabeling::from_ports(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views::view_coloring(g, p, l));
+  }
+}
+BENCHMARK(BM_ViewColoringRing)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ViewColoringTorus(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::torus({side, side});
+  const graph::Placement p(g.node_count(), {0});
+  const auto l = graph::EdgeLabeling::from_ports(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views::view_coloring(g, p, l));
+  }
+}
+BENCHMARK(BM_ViewColoringTorus)->Arg(4)->Arg(8);
+
+void BM_ExplicitViewTree(benchmark::State& state) {
+  const graph::Graph g = graph::petersen();
+  const graph::Placement p = graph::Placement::empty(10);
+  const auto l = graph::EdgeLabeling::from_ports(g);
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        views::encode_view(views::build_view(g, p, l, 0, depth)));
+  }
+}
+BENCHMARK(BM_ExplicitViewTree)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_SymmetricityNaturalRing(benchmark::State& state) {
+  const auto cg = group::cayley_ring(static_cast<std::size_t>(state.range(0)));
+  const auto l = cg.natural_labeling();
+  const graph::Placement p = graph::Placement::empty(cg.graph.node_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views::symmetricity_of_labeling(cg.graph, p, l));
+  }
+}
+BENCHMARK(BM_SymmetricityNaturalRing)->Arg(16)->Arg(64);
+
+void BM_LabelClassesRing(benchmark::State& state) {
+  const graph::Graph g = graph::ring(static_cast<std::size_t>(state.range(0)));
+  const graph::Placement p(g.node_count(), {0, 2});
+  const auto l = graph::EdgeLabeling::from_ports(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views::label_equivalence_classes(g, p, l));
+  }
+}
+BENCHMARK(BM_LabelClassesRing)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Translation-equivalence classes and the effectual-election test for
+// Cayley graphs (Section 4).
+//
+// Fix a regular subgroup R <= Aut(G) (one group structure on G).  Because R
+// acts sharply transitively there is a *unique* translation mapping x to y;
+// x and y are translation-equivalent w.r.t. (R, p) iff that translation
+// preserves the bi-coloring.  The color-preserving translations form the
+// subgroup R_p = { rho in R : rho(home-bases) = home-bases }, the classes
+// are the orbits of R_p, and -- since the action is free -- *all classes
+// have size |R_p|*; hence gcd(|C_1|, ..., |C_k|) = |R_p|.
+//
+// DOCUMENTED DEVIATION FROM THE PAPER (see DESIGN.md / EXPERIMENTS.md):
+// Theorem 4.1 as literally stated lets the agents "select" one group for G
+// and decide by the gcd of that group's translation classes.  That is not
+// sound: (C_4, {0,1}) has gcd 1 w.r.t. Gamma = Z_4, yet election is
+// impossible -- C_4 is also Cay(Z_2 x Z_2, *), whose natural labeling makes
+// every ~lab class have size 2, so Theorem 2.1 applies.  The corrected
+// test quantifies over every regular subgroup: election on a Cayley (G, p)
+// is impossible iff SOME regular subgroup has |R_p| > 1.  The library
+// implements the corrected test and the tests validate it exhaustively on
+// small Cayley graphs against the plain-ELECT condition gcd(~classes) = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/cayley/recognition.hpp"
+#include "qelect/graph/placement.hpp"
+
+namespace qelect::cayley {
+
+/// The translation-class decomposition of (G, p) w.r.t. one regular
+/// subgroup.
+struct TranslationClasses {
+  /// Orbits of R_p, each of size `stabilizer_order`; ordered by smallest
+  /// member node.
+  std::vector<std::vector<NodeId>> classes;
+  /// |R_p| = the common class size = gcd of the class sizes.
+  std::size_t stabilizer_order = 0;
+};
+
+/// Computes the translation classes of placement `p` under `r`.
+TranslationClasses translation_classes(const RegularSubgroup& r,
+                                       const graph::Placement& p);
+
+/// |R_p| for one regular subgroup.
+std::size_t color_preserving_translation_count(const RegularSubgroup& r,
+                                               const graph::Placement& p);
+
+/// The corrected effectual impossibility test: max |R_p| over all supplied
+/// regular subgroups.  > 1 means election on (G, p) is impossible
+/// (Theorem 4.1's construction yields a labeling with all ~lab classes of
+/// that size); == 1 means no translation-based obstruction exists.
+std::size_t max_translation_obstruction(
+    const std::vector<RegularSubgroup>& subgroups, const graph::Placement& p);
+
+}  // namespace qelect::cayley

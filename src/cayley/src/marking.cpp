@@ -1,0 +1,197 @@
+#include "qelect/cayley/marking.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/iso/equivalence.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/math.hpp"
+
+namespace qelect::cayley {
+
+using graph::EdgeId;
+using graph::NodeId;
+using group::Elem;
+
+namespace {
+
+// The unique edge {a, b} in a simple graph, by scanning a's ports.
+EdgeId edge_between(const graph::Graph& g, NodeId a, NodeId b) {
+  for (const graph::HalfEdge& h : g.ports(a)) {
+    if (h.to == b) return h.edge;
+  }
+  QELECT_CHECK(false, "edge_between: nodes not adjacent");
+  return 0;  // unreachable
+}
+
+std::uint64_t gcd_of_sizes(const std::vector<std::vector<NodeId>>& classes) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(classes.size());
+  for (const auto& c : classes) sizes.push_back(c.size());
+  return gcd_all(sizes);
+}
+
+// The orbits of the color-preserving translation subgroup R_p.
+std::vector<std::vector<NodeId>> translation_partition(
+    const group::CayleyGraph& cg, const graph::Placement& p) {
+  const std::size_t n = cg.gamma.size();
+  std::vector<Elem> rp;
+  for (Elem gmm = 0; gmm < n; ++gmm) {
+    bool preserves = true;
+    for (NodeId h : p.home_bases()) {
+      if (!p.is_home_base(static_cast<NodeId>(cg.gamma.op(gmm, h)))) {
+        preserves = false;
+        break;
+      }
+    }
+    if (preserves) rp.push_back(gmm);
+  }
+  std::vector<std::vector<NodeId>> classes;
+  std::vector<bool> seen(n, false);
+  for (NodeId x = 0; x < n; ++x) {
+    if (seen[x]) continue;
+    std::vector<NodeId> orbit;
+    for (Elem gmm : rp) {
+      const NodeId y = static_cast<NodeId>(cg.gamma.op(gmm, x));
+      QELECT_ASSERT(!seen[y]);
+      seen[y] = true;
+      orbit.push_back(y);
+    }
+    std::sort(orbit.begin(), orbit.end());
+    classes.push_back(std::move(orbit));
+  }
+  return classes;
+}
+
+}  // namespace
+
+MarkingResult theorem41_marking(const group::CayleyGraph& cg,
+                                const graph::Placement& p,
+                                MarkingStart start) {
+  const std::size_t n = cg.gamma.size();
+  QELECT_CHECK(p.node_count() == n, "theorem41_marking: placement mismatch");
+  const bool strict = start == MarkingStart::TranslationClasses;
+
+  std::vector<std::vector<NodeId>> classes;
+  if (strict) {
+    classes = translation_partition(cg, p);
+  } else {
+    classes = iso::equivalence_classes(
+                  iso::from_bicolored_graph(cg.graph, p))
+                  .classes;
+  }
+
+  const std::uint64_t target = gcd_of_sizes(classes);
+  if (strict) {
+    // Free action: the initial gcd is exactly |R_p|, and -- a point the
+    // paper's proof does not spell out -- all classes already share it.
+    QELECT_ASSERT(std::all_of(classes.begin(), classes.end(),
+                              [&](const auto& c) {
+                                return c.size() == classes.front().size();
+                              }));
+  }
+
+  MarkingResult result;
+  std::set<EdgeId> marked;
+  std::vector<std::size_t> class_of(n);
+  auto rebuild_index = [&] {
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      for (NodeId x : classes[i]) class_of[x] = i;
+    }
+  };
+  rebuild_index();
+
+  // Each iteration splits one class, so at most n - 1 iterations.
+  for (std::size_t iter = 0; iter <= n; ++iter) {
+    const bool all_equal = std::all_of(
+        classes.begin(), classes.end(), [&](const auto& c) {
+          return c.size() == classes.front().size();
+        });
+    if (all_equal) break;
+    QELECT_CHECK(iter < n, "theorem41_marking: process failed to converge");
+
+    // Find (smaller class A, generator s) whose s-edges leave A into a
+    // strictly larger class and are unmarked.  The scan order is
+    // deterministic so the trace is reproducible.
+    bool advanced = false;
+    bool incoherent = false;
+    for (std::size_t ai = 0; ai < classes.size() && !advanced; ++ai) {
+      for (std::size_t gi = 0; gi < cg.gens.size() && !advanced; ++gi) {
+        const Elem s = cg.gens.elements()[gi];
+        const std::vector<NodeId>& a_class = classes[ai];
+        const NodeId probe =
+            static_cast<NodeId>(cg.gamma.op(a_class.front(), s));
+        const std::size_t bi = class_of[probe];
+        if (bi == ai) continue;
+        if (classes[bi].size() <= a_class.size()) continue;
+        if (marked.count(edge_between(cg.graph, a_class.front(), probe))) {
+          continue;
+        }
+        // Invariant of the proof: by translation, *every* s-edge out of A
+        // lands in the same class and is unmarked.  From a coarse start
+        // this can fail; record and bail out instead of throwing.
+        std::vector<NodeId> image;
+        image.reserve(a_class.size());
+        bool ok = true;
+        for (NodeId a : a_class) {
+          const NodeId b = static_cast<NodeId>(cg.gamma.op(a, s));
+          if (class_of[b] != bi ||
+              marked.count(edge_between(cg.graph, a, b)) > 0) {
+            ok = false;
+            break;
+          }
+          image.push_back(b);
+        }
+        if (!ok) {
+          QELECT_CHECK(!strict,
+                       "theorem41 invariant: s-edges of a translation class "
+                       "must land coherently");
+          incoherent = true;
+          continue;  // try another (class, generator) pair
+        }
+        std::sort(image.begin(), image.end());
+        // Mark the |A| edges and split B into image and remainder.
+        for (NodeId a : a_class) {
+          marked.insert(edge_between(
+              cg.graph, a, static_cast<NodeId>(cg.gamma.op(a, s))));
+        }
+        std::vector<NodeId> remainder;
+        std::set_difference(classes[bi].begin(), classes[bi].end(),
+                            image.begin(), image.end(),
+                            std::back_inserter(remainder));
+        QELECT_ASSERT(remainder.size() + image.size() == classes[bi].size());
+        result.steps.push_back(MarkingStep{
+            s, a_class.size(), classes[bi].size(), a_class.size()});
+        classes[bi] = std::move(image);
+        classes.push_back(std::move(remainder));
+        rebuild_index();
+        // Euclid invariant: the gcd of the class sizes never moves.
+        QELECT_CHECK(gcd_of_sizes(classes) == target,
+                     "theorem41 invariant: gcd drifted during refinement");
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      QELECT_CHECK(!strict,
+                   "theorem41_marking: no admissible (class, generator) pair "
+                   "found although class sizes differ");
+      (void)incoherent;
+      result.completed = false;
+      break;
+    }
+  }
+
+  if (strict) {
+    QELECT_CHECK(classes.front().size() == target,
+                 "theorem41: final class size must equal |R_p|");
+  }
+  std::sort(classes.begin(), classes.end());
+  result.final_classes = std::move(classes);
+  result.final_class_size =
+      result.completed ? result.final_classes.front().size() : 0;
+  return result;
+}
+
+}  // namespace qelect::cayley

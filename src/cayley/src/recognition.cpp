@@ -1,0 +1,251 @@
+#include "qelect/cayley/recognition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "qelect/graph/placement.hpp"
+#include "qelect/iso/automorphism.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::cayley {
+
+RegularSubgroup::RegularSubgroup(std::vector<Permutation> by_image)
+    : by_image_(std::move(by_image)) {
+  QELECT_CHECK(!by_image_.empty(), "RegularSubgroup: empty element list");
+  for (NodeId v = 0; v < by_image_.size(); ++v) {
+    QELECT_CHECK(by_image_[v].size() == by_image_.size(),
+                 "RegularSubgroup: permutation degree mismatch");
+    QELECT_CHECK(by_image_[v][0] == v,
+                 "RegularSubgroup: element(v) must map node 0 to v");
+  }
+}
+
+std::vector<Permutation> RegularSubgroup::sorted_members() const {
+  std::vector<Permutation> members = by_image_;
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+namespace {
+
+bool is_fixed_point_free(const Permutation& p) {
+  for (NodeId x = 0; x < p.size(); ++x) {
+    if (p[x] == x) return false;
+  }
+  return true;
+}
+
+// Closure of `seed` under composition; aborts (returns false) if the closure
+// exceeds `bound` elements or contains a non-identity element with a fixed
+// point (which rules out regularity).
+bool semiregular_closure(const std::vector<Permutation>& seed,
+                         std::size_t bound, std::set<Permutation>& out) {
+  const std::size_t n = seed.empty() ? 0 : seed.front().size();
+  out.clear();
+  out.insert(iso::identity_permutation(n));
+  std::vector<Permutation> frontier(out.begin(), out.end());
+  std::vector<Permutation> gens = seed;
+  for (const auto& g : gens) {
+    if (out.insert(g).second) frontier.push_back(g);
+  }
+  const Permutation id = iso::identity_permutation(n);
+  while (!frontier.empty()) {
+    const Permutation x = std::move(frontier.back());
+    frontier.pop_back();
+    for (const auto& g : gens) {
+      Permutation y = iso::compose(g, x);
+      if (y != id && !is_fixed_point_free(y)) return false;
+      if (out.size() >= bound && !out.count(y)) return false;
+      if (out.insert(y).second) frontier.push_back(std::move(y));
+    }
+  }
+  return true;
+}
+
+// The recursive search: extend the semiregular subgroup `current` (given as
+// a closed element set) to regular subgroups of order n, drawing new
+// elements from `by_image` buckets.
+class RegularSearch {
+ public:
+  RegularSearch(std::size_t n,
+                std::vector<std::vector<Permutation>> by_image,
+                std::size_t max_results)
+      : n_(n), by_image_(std::move(by_image)), max_results_(max_results) {}
+
+  // `forced` must be a closed semiregular set containing the identity.
+  void run(const std::set<Permutation>& forced,
+           std::vector<RegularSubgroup>& results) {
+    results_ = &results;
+    extend(forced);
+  }
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  void extend(const std::set<Permutation>& current) {
+    if (results_->size() >= max_results_) {
+      truncated_ = true;
+      return;
+    }
+    if (current.size() == n_) {
+      emit(current);
+      return;
+    }
+    // First node not yet reachable from 0 inside `current`.
+    std::vector<bool> covered(n_, false);
+    for (const auto& p : current) covered[p[0]] = true;
+    NodeId v = 0;
+    while (v < n_ && covered[v]) ++v;
+    QELECT_ASSERT(v < n_);
+    for (const auto& phi : by_image_[v]) {
+      if (!is_fixed_point_free(phi)) continue;
+      std::vector<Permutation> seed(current.begin(), current.end());
+      seed.push_back(phi);
+      std::set<Permutation> closure;
+      if (!semiregular_closure(seed, n_, closure)) continue;
+      // Sharp transitivity requires one element per image of 0.
+      std::set<NodeId> images;
+      bool distinct = true;
+      for (const auto& p : closure) {
+        if (!images.insert(p[0]).second) {
+          distinct = false;
+          break;
+        }
+      }
+      if (!distinct) continue;
+      extend(closure);
+      if (results_->size() >= max_results_) {
+        truncated_ = true;
+        return;
+      }
+    }
+  }
+
+  void emit(const std::set<Permutation>& members) {
+    std::vector<Permutation> by_image(n_);
+    for (const auto& p : members) by_image[p[0]] = p;
+    RegularSubgroup subgroup(std::move(by_image));
+    // Dedup: the search can reach the same subgroup along different
+    // generator orders.
+    const auto key = subgroup.sorted_members();
+    if (seen_.insert(key).second) {
+      results_->push_back(std::move(subgroup));
+    }
+  }
+
+  std::size_t n_;
+  std::vector<std::vector<Permutation>> by_image_;
+  std::size_t max_results_;
+  std::vector<RegularSubgroup>* results_ = nullptr;
+  std::set<std::vector<Permutation>> seen_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+RecognitionResult recognize_cayley(const graph::Graph& g,
+                                   std::size_t max_subgroups,
+                                   std::size_t aut_limit) {
+  RecognitionResult result;
+  const std::size_t n = g.node_count();
+  if (n == 0) return result;
+  // Quick necessary conditions: Cayley graphs are connected and regular.
+  if (!g.is_connected() || !g.is_regular()) {
+    result.aut_enumeration_complete = false;
+    return result;
+  }
+  const iso::ColoredDigraph d =
+      iso::from_bicolored_graph(g, graph::Placement::empty(n));
+  const auto autos = iso::all_automorphisms(d, aut_limit);
+  if (!autos) {
+    result.aut_enumeration_complete = false;
+    return result;
+  }
+  result.aut_order = autos->size();
+  if (autos->size() % n != 0) return result;  // |Aut| must be divisible by n
+
+  std::vector<std::vector<Permutation>> by_image(n);
+  for (const auto& p : *autos) by_image[p[0]].push_back(p);
+  for (NodeId v = 0; v < n; ++v) {
+    if (by_image[v].empty()) return result;  // not vertex-transitive
+  }
+
+  RegularSearch search(n, std::move(by_image), max_subgroups);
+  std::set<Permutation> start{iso::identity_permutation(n)};
+  search.run(start, result.regular_subgroups);
+  result.is_cayley = !result.regular_subgroups.empty();
+  if (search.truncated()) result.aut_enumeration_complete = false;
+  return result;
+}
+
+ReconstructedCayley reconstruct_group(const graph::Graph& g,
+                                      const RegularSubgroup& r) {
+  const std::size_t n = g.node_count();
+  QELECT_CHECK(r.order() == n, "reconstruct_group: subgroup order mismatch");
+  // Element v <-> the permutation phi_v with phi_v(0) = v; the group law is
+  // composition: table[a][b] = (phi_a o phi_b)(0) = phi_a(b).
+  std::vector<std::vector<group::Elem>> table(n, std::vector<group::Elem>(n));
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      table[a][b] = static_cast<group::Elem>(r.element(a)[b]);
+    }
+  }
+  group::Group gamma = group::Group::from_table(std::move(table), "sabidussi");
+  // Generators: elements adjacent to the identity node 0.  With this S the
+  // right-multiplication Cayley graph Cay(gamma, S) is isomorphic to g.
+  std::vector<group::Elem> gens;
+  std::set<NodeId> neighbors;
+  for (const graph::HalfEdge& h : g.ports(0)) neighbors.insert(h.to);
+  for (NodeId v : neighbors) gens.push_back(static_cast<group::Elem>(v));
+  return ReconstructedCayley{std::move(gamma), std::move(gens)};
+}
+
+std::vector<std::vector<std::size_t>> conjugacy_classes_of_subgroups(
+    const std::vector<RegularSubgroup>& subgroups,
+    const std::vector<Permutation>& automorphisms) {
+  // Canonical key per subgroup: its sorted member list.
+  std::vector<std::vector<Permutation>> keys;
+  keys.reserve(subgroups.size());
+  for (const auto& sub : subgroups) keys.push_back(sub.sorted_members());
+  std::map<std::vector<Permutation>, std::size_t> index;
+  for (std::size_t i = 0; i < keys.size(); ++i) index.emplace(keys[i], i);
+
+  std::vector<std::size_t> root(subgroups.size());
+  for (std::size_t i = 0; i < root.size(); ++i) root[i] = i;
+  auto find = [&](std::size_t x) {
+    while (root[x] != x) {
+      root[x] = root[root[x]];
+      x = root[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < subgroups.size(); ++i) {
+    for (const Permutation& phi : automorphisms) {
+      const Permutation phi_inv = iso::invert(phi);
+      std::vector<Permutation> conjugate;
+      conjugate.reserve(keys[i].size());
+      for (const Permutation& rho : keys[i]) {
+        conjugate.push_back(iso::compose(phi, iso::compose(rho, phi_inv)));
+      }
+      std::sort(conjugate.begin(), conjugate.end());
+      const auto it = index.find(conjugate);
+      // The conjugate of a regular subgroup is a regular subgroup; if the
+      // enumeration was complete it is in the list.
+      if (it != index.end()) {
+        const std::size_t a = find(i), b = find(it->second);
+        if (a != b) root[a] = b;
+      }
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> grouped;
+  for (std::size_t i = 0; i < subgroups.size(); ++i) {
+    grouped[find(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(grouped.size());
+  for (auto& [r, members] : grouped) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace qelect::cayley

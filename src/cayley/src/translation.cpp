@@ -1,0 +1,72 @@
+#include "qelect/cayley/translation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::cayley {
+
+namespace {
+
+bool preserves_placement(const Permutation& rho, const graph::Placement& p) {
+  for (NodeId h : p.home_bases()) {
+    if (!p.is_home_base(rho[h])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TranslationClasses translation_classes(const RegularSubgroup& r,
+                                       const graph::Placement& p) {
+  const std::size_t n = r.order();
+  QELECT_CHECK(p.node_count() == n,
+               "translation_classes: placement size mismatch");
+  // Collect R_p.
+  std::vector<const Permutation*> rp;
+  for (NodeId v = 0; v < n; ++v) {
+    const Permutation& rho = r.element(v);
+    if (preserves_placement(rho, p)) rp.push_back(&rho);
+  }
+  // Orbits of R_p; the action is free, so each orbit has size |R_p|.
+  TranslationClasses out;
+  out.stabilizer_order = rp.size();
+  std::vector<bool> seen(n, false);
+  for (NodeId x = 0; x < n; ++x) {
+    if (seen[x]) continue;
+    std::vector<NodeId> orbit;
+    for (const Permutation* rho : rp) {
+      const NodeId y = (*rho)[x];
+      if (!seen[y]) {
+        seen[y] = true;
+        orbit.push_back(y);
+      }
+    }
+    std::sort(orbit.begin(), orbit.end());
+    QELECT_ASSERT(orbit.size() == rp.size());
+    out.classes.push_back(std::move(orbit));
+  }
+  return out;
+}
+
+std::size_t color_preserving_translation_count(const RegularSubgroup& r,
+                                               const graph::Placement& p) {
+  std::size_t count = 0;
+  for (NodeId v = 0; v < r.order(); ++v) {
+    if (preserves_placement(r.element(v), p)) ++count;
+  }
+  return count;
+}
+
+std::size_t max_translation_obstruction(
+    const std::vector<RegularSubgroup>& subgroups,
+    const graph::Placement& p) {
+  std::size_t best = 0;
+  for (const RegularSubgroup& r : subgroups) {
+    best = std::max(best, color_preserving_translation_count(r, p));
+  }
+  return best;
+}
+
+}  // namespace qelect::cayley

@@ -1,0 +1,53 @@
+// The map an agent draws of the anonymous network, in its own numbering.
+//
+// MAP-DRAWING (Section 3.2) gives every agent a port-annotated copy of G:
+// node 0 is the agent's home-base and all other indices are in the agent's
+// first-visit order.  The map also records, for every node, the color of
+// the agent based there (if any) -- the agent read it off the home-base
+// signs while exploring.  Nothing in the map refers to global node ids:
+// two agents' maps are related by an (unknown to them) isomorphism, which
+// is exactly why class plans computed from maps agree across agents.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/sim/color.hpp"
+
+namespace qelect::core {
+
+using graph::NodeId;
+using graph::PortId;
+
+/// An agent's private map of the network.
+struct AgentMap {
+  graph::Graph graph;  // in the agent's own numbering; node 0 = home-base
+  /// base_color[v] = the color of the agent whose home-base is map-node v.
+  std::vector<std::optional<sim::Color>> base_color;
+  /// base_id[v] = the comparable integer label read off the home-base sign
+  /// at map-node v; present only in quantitative worlds.
+  std::vector<std::optional<std::int64_t>> base_id;
+
+  std::size_t agent_count() const;
+
+  /// Home-base nodes (map numbering), ascending.
+  std::vector<NodeId> home_base_nodes() const;
+
+  /// The bi-coloring the map induces, as a Placement over map nodes.
+  graph::Placement placement() const;
+};
+
+/// Shortest port-route from `from` to `to` (BFS); empty when from == to.
+std::vector<PortId> route(const graph::Graph& g, NodeId from, NodeId to);
+
+/// A depth-first tour: the port sequence that visits every node of `g` at
+/// least once starting and ending at `start` (each tree edge walked twice,
+/// so the length is at most 2(n-1) <= 2|E| moves).  `visit_order` receives
+/// the node the walker occupies after each move (so board work can be done
+/// at every stop).
+std::vector<PortId> tour_ports(const graph::Graph& g, NodeId start,
+                               std::vector<NodeId>* visit_order = nullptr);
+
+}  // namespace qelect::core

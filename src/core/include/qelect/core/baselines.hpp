@@ -1,0 +1,48 @@
+// Baseline protocols for the Table 1 comparison.
+//
+// * Quantitative election (Section 1.3): in the quantitative world each
+//   agent carries a distinct comparable integer.  The two-phase universal
+//   protocol -- traverse the graph to collect every label, then elect the
+//   maximum -- works on every (G, p) with no further communication; it is
+//   the "Yes" column of Table 1 and the complexity baseline for ELECT.
+//
+// * Anonymous walker: a deliberately label-free exploration protocol used
+//   to reproduce the impossibility argument of Section 1.3.  It never
+//   consults colors; its observable history is (degree, entry port, sign
+//   count) per step.  Run under the Lockstep scheduler on C_3 with one
+//   agent and on C_6 with two antipodal agents, the histories coincide
+//   step for step -- the indistinguishability at the heart of the proof
+//   that anonymous agents admit no effectual election protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+
+/// The quantitative universal election protocol.  Requires a World built
+/// with World::quantitative (throws CheckError otherwise).
+sim::Behavior quantitative_agent(sim::AgentCtx& ctx);
+sim::Protocol make_quantitative_protocol();
+
+/// One observation per step of the anonymous walker.
+struct WalkObservation {
+  std::size_t degree = 0;
+  std::int64_t entry_port = -1;  // -1 before the first move
+  std::size_t sign_count = 0;    // signs on the local board (colors ignored)
+  bool operator==(const WalkObservation&) const = default;
+};
+
+/// Shared sink for walker traces; one trace per agent, in spawn order.
+using WalkTraces = std::vector<std::vector<WalkObservation>>;
+
+/// Makes an anonymous-walker protocol that records `steps` observations per
+/// agent into `traces` (which must outlive the run).  The walk rule is
+/// symmetric: write a sign, record the observation, leave through
+/// (entry_port + 1) mod degree (port 0 initially).
+sim::Protocol make_anonymous_walker(std::shared_ptr<WalkTraces> traces,
+                                    std::size_t steps);
+
+}  // namespace qelect::core

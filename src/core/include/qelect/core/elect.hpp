@@ -1,0 +1,103 @@
+// Protocol ELECT (Section 3): qualitative leader election.
+//
+// The live, whiteboard-driven realization of Figure 3:
+//
+//   MAP-DRAWING        -- whiteboard DFS (map_drawing.hpp);
+//   COMPUTE & ORDER    -- each agent runs the same pure analysis
+//                         (core::protocol_plan) on its own map; map
+//                         isomorphism + certificate-based class identity
+//                         make all agents' plans agree;
+//   agent-agent stage  -- AGENT-REDUCE phases: searching agents race to
+//                         match waiting agents on their home-base boards
+//                         (Euclid's algorithm executed by matchings);
+//   agent-node stage   -- NODE-REDUCE phases: agents race to acquire
+//                         bounded slots on selected-node boards;
+//   announcement       -- the survivor (gcd == 1) tours the network posting
+//                         the leader sign; otherwise the gcd > 1 survivors
+//                         post the failure sign (effectual behavior).
+//
+// Faithfulness notes (documented deviations in DESIGN.md):
+//   * "asleep" agents draw their maps immediately and then wait at home for
+//     activation signs, instead of being woken mid-exploration -- the
+//     observable protocol structure (who is active when) is unchanged;
+//   * SYNCHRONIZE is realized by phase/round-tagged barrier signs at
+//     home-bases rather than untagged full traversals; the move complexity
+//     stays O(r |E|);
+//   * all coordination that the paper leaves implicit (how waiting agents
+//     learn the matched set, how actives learn survivors) uses only
+//     count-based and own-color-based sign reading -- no color ordering.
+#pragma once
+
+#include <memory>
+
+#include "qelect/core/agent_map.hpp"
+#include "qelect/core/analysis.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+
+/// Sign tags used by ELECT (>= kFirstProtocolTag; kTagVisited is shared
+/// with map drawing).
+inline constexpr std::uint32_t kTagActivate = sim::kFirstProtocolTag + 1;
+inline constexpr std::uint32_t kTagBarrier = sim::kFirstProtocolTag + 2;
+inline constexpr std::uint32_t kTagMatched = sim::kFirstProtocolTag + 3;
+inline constexpr std::uint32_t kTagRoundDone = sim::kFirstProtocolTag + 4;
+inline constexpr std::uint32_t kTagPassive = sim::kFirstProtocolTag + 5;
+inline constexpr std::uint32_t kTagAcquire = sim::kFirstProtocolTag + 6;
+inline constexpr std::uint32_t kTagOutcome = sim::kFirstProtocolTag + 7;
+
+/// Outcome payload codes.
+inline constexpr std::int64_t kOutcomeLeader = 1;
+inline constexpr std::int64_t kOutcomeFailure = 0;
+
+/// Per-run instrumentation collected by the live protocol (shared by all
+/// agents of one run; single-threaded simulator, so a plain struct).
+/// Every count is validated against the offline schedule by the tests:
+/// matching rounds must follow the Euclid trajectory, phase counts must
+/// equal ProtocolClassPlan::phases_executed(), etc.
+struct ElectTrace {
+  /// One record per (phase, executing agent) in start order.
+  struct PhaseRecord {
+    std::size_t phase = 0;          // class index consumed (1-based)
+    bool agent_phase = false;       // AGENT-REDUCE vs NODE-REDUCE
+    std::size_t rounds = 0;         // matching / acquire rounds executed
+  };
+  std::vector<PhaseRecord> phases;
+  std::size_t matches_posted = 0;    // kTagMatched signs written
+  std::size_t acquires_posted = 0;   // kTagAcquire signs written
+  std::size_t activations_posted = 0;
+  std::size_t leaders = 0;
+  std::size_t failure_detectors = 0;
+
+  /// Highest phase index seen, 0 if none ran.
+  std::size_t max_phase() const;
+  /// Maximum rounds among records for `phase`.
+  std::size_t rounds_of_phase(std::size_t phase) const;
+};
+
+/// What the reusable ELECT core hands back to protocols built on top of it
+/// (e.g. gathering): the agent's map and its current map-node.  The
+/// election outcome itself is in ctx.status() / ctx.leader_color().
+struct ElectInnerResult {
+  AgentMap map;
+  NodeId here = 0;
+};
+
+/// The full ELECT logic as an awaitable subroutine; `trace` may be null.
+/// With `tidy`, the final announcement tour erases every protocol working
+/// sign (whiteboards end up holding only home-base marks and the outcome
+/// -- the "erase" capability Section 1.2 grants the agents).
+sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
+                                        std::shared_ptr<ElectTrace> trace,
+                                        bool tidy = false);
+
+/// The agent coroutine implementing ELECT.  `trace` may be null.
+sim::Behavior elect_agent(sim::AgentCtx& ctx,
+                          std::shared_ptr<ElectTrace> trace,
+                          bool tidy = false);
+
+/// ELECT as a runnable protocol, optionally instrumented.
+sim::Protocol make_elect_protocol(std::shared_ptr<ElectTrace> trace = nullptr,
+                                  bool tidy = false);
+
+}  // namespace qelect::core

@@ -1,0 +1,29 @@
+// Gathering (rendezvous) on top of ELECT.
+//
+// The paper's footnote 2: "Once a leader is elected, many other
+// computational tasks become straightforward.  Such is the case for the
+// gathering or rendezvous problem."  This module makes that concrete: run
+// ELECT; if a leader emerges, every agent navigates to the leader's
+// home-base (each knows it -- the map pairs every agent color with its
+// home), so all agents end on one node.  If ELECT reports failure the
+// agents stay at their own home-bases, which is the correct effectual
+// behavior: gathering is exactly as solvable as election on (G, p) when a
+// meeting point cannot be agreed upon otherwise.
+#pragma once
+
+#include <memory>
+
+#include "qelect/core/elect.hpp"
+
+namespace qelect::core {
+
+/// The gathering protocol.  Terminal statuses mirror ELECT's; the
+/// *positions* carry the new guarantee: on success every agent's final
+/// node is the leader's home-base.
+sim::Behavior gather_agent(sim::AgentCtx& ctx,
+                           std::shared_ptr<ElectTrace> trace);
+
+sim::Protocol make_gather_protocol(
+    std::shared_ptr<ElectTrace> trace = nullptr);
+
+}  // namespace qelect::core

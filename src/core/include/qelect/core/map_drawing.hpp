@@ -1,0 +1,43 @@
+// MAP-DRAWING: the exploration phase every agent runs first.
+//
+// The agent performs a whiteboard-guided DFS of the anonymous network: it
+// writes a colored "visited, my index i" sign on every node it discovers,
+// so that when a later probe re-enters a known node it can identify which
+// map node it is -- the colored-sign mechanism is precisely what makes map
+// construction possible without node identities, and it is the reason the
+// model needs *distinct* colors (Section 3.2: "the distinctness of the
+// agents' colors is required for the agents to draw a map").
+//
+// While exploring, the agent also records every home-base sign it sees,
+// which gives it the placement p and the full color set.  Cost: each edge
+// is probed at most once from each side and each probe is two moves, so at
+// most 4|E| moves per agent -- the O(r|E|) total of Theorem 3.1.
+#pragma once
+
+#include "qelect/core/agent_map.hpp"
+#include "qelect/sim/behavior.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+
+/// Sign tags used by map drawing (shared with the election protocols so
+/// they can recognize exploration residue).
+inline constexpr std::uint32_t kTagVisited = sim::kFirstProtocolTag + 0;
+
+/// Runs the DFS and returns the completed map.  On return the agent is
+/// back at its home-base (map node 0).
+sim::Task<AgentMap> map_drawing(sim::AgentCtx& ctx);
+
+/// Ablation variant: breadth-first exploration.  Discovers nodes in BFS
+/// order, navigating back and forth through the known region to probe each
+/// frontier port.  Produces a map isomorphic to map_drawing()'s (tested),
+/// at O(n |E|) moves instead of O(|E|) -- the bench quantifies the gap and
+/// thereby justifies the paper's DFS traversal choice.
+sim::Task<AgentMap> map_drawing_bfs(sim::AgentCtx& ctx);
+
+/// Navigates along `ports`, one move per entry.  (Shared helper for every
+/// protocol built on a map.)
+sim::Task<void> follow_ports(sim::AgentCtx& ctx,
+                             const std::vector<PortId>& ports);
+
+}  // namespace qelect::core

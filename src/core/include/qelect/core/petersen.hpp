@@ -1,0 +1,30 @@
+// The Petersen counterexample protocol (Section 4).
+//
+// With two agents on adjacent nodes of the Petersen graph the equivalence
+// classes have sizes 2, 4, 4 (gcd 2), so ELECT reports failure -- yet
+// election *is* possible: each agent marks one private neighbor of its
+// home-base, locates the other agent's mark, and both race to acquire the
+// unique common neighbor of the two marks.  Whiteboard mutual exclusion
+// decides the race; the winner is the leader.  This witnesses that ELECT is
+// not effectual on vertex-transitive non-Cayley graphs and that physical
+// races are strictly stronger than topology-based symmetry breaking.
+//
+// (Girth 5 guarantees the marked nodes are distinct, non-adjacent, and --
+// Petersen being strongly regular (10,3,0,1) -- have exactly one common
+// neighbor.)
+#pragma once
+
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+
+inline constexpr std::uint32_t kTagPetersenMark = sim::kFirstProtocolTag + 30;
+inline constexpr std::uint32_t kTagPetersenDone = sim::kFirstProtocolTag + 31;
+inline constexpr std::uint32_t kTagPetersenWin = sim::kFirstProtocolTag + 32;
+
+/// The ad-hoc protocol.  Requires: Petersen-shaped 3-regular 10-node graph,
+/// exactly two agents, adjacent home-bases (CheckError otherwise).
+sim::Behavior petersen_agent(sim::AgentCtx& ctx);
+sim::Protocol make_petersen_protocol();
+
+}  // namespace qelect::core

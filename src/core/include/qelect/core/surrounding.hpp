@@ -1,0 +1,37 @@
+// Surroundings (Definition 3.1) and the class order of Lemma 3.1.
+//
+// The surrounding S(u) of node u in the bi-colored (G, p) is the digraph on
+// V(G) with an arc (x, y) for every edge {x, y} with d(u, x) <= d(u, y).
+// Lemma 3.1: u ~ v (color-preserving automorphism) iff S(u) iso S(v), and a
+// canonical total order on surroundings orders the equivalence classes.
+// We realize the order by the canonical certificate of S(u); the iso
+// module's individualized-certificate classes are an independent
+// computation of the same partition, and the test-suite checks they agree
+// on every instance it touches.
+#pragma once
+
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/iso/equivalence.hpp"
+
+namespace qelect::core {
+
+using graph::NodeId;
+
+/// Builds S(u) as a colored digraph (node colors = the bi-coloring; arcs as
+/// in Definition 3.1, labels 0).
+iso::ColoredDigraph surrounding(const graph::Graph& g,
+                                const graph::Placement& p, NodeId u);
+
+/// The equivalence classes of (G, p) computed the paper's way: group nodes
+/// by canonical certificate of their surroundings, order classes by
+/// certificate (the total order `prec` of Lemma 3.1).  The result uses the
+/// same OrderedClasses shape as iso::equivalence_classes.
+iso::OrderedClasses surrounding_classes(const graph::Graph& g,
+                                        const graph::Placement& p);
+
+}  // namespace qelect::core

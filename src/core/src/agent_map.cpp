@@ -1,0 +1,92 @@
+#include "qelect/core/agent_map.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::core {
+
+std::size_t AgentMap::agent_count() const {
+  std::size_t count = 0;
+  for (const auto& c : base_color) {
+    if (c.has_value()) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> AgentMap::home_base_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < base_color.size(); ++v) {
+    if (base_color[v].has_value()) out.push_back(v);
+  }
+  return out;
+}
+
+graph::Placement AgentMap::placement() const {
+  return graph::Placement(graph.node_count(), home_base_nodes());
+}
+
+std::vector<PortId> route(const graph::Graph& g, NodeId from, NodeId to) {
+  QELECT_CHECK(from < g.node_count() && to < g.node_count(),
+               "route: node out of range");
+  if (from == to) return {};
+  // BFS storing, per node, the (previous node, arriving port) pair.
+  std::vector<int> prev_node(g.node_count(), -1);
+  std::vector<PortId> prev_port(g.node_count(), 0);
+  std::deque<NodeId> queue{from};
+  prev_node[from] = static_cast<int>(from);
+  while (!queue.empty()) {
+    const NodeId x = queue.front();
+    queue.pop_front();
+    if (x == to) break;
+    for (PortId p = 0; p < g.degree(x); ++p) {
+      const graph::HalfEdge& h = g.peer(x, p);
+      if (prev_node[h.to] < 0) {
+        prev_node[h.to] = static_cast<int>(x);
+        prev_port[h.to] = p;
+        queue.push_back(h.to);
+      }
+    }
+  }
+  QELECT_CHECK(prev_node[to] >= 0, "route: target unreachable");
+  std::vector<PortId> ports;
+  NodeId cursor = to;
+  while (cursor != from) {
+    ports.push_back(prev_port[cursor]);
+    cursor = static_cast<NodeId>(prev_node[cursor]);
+  }
+  std::reverse(ports.begin(), ports.end());
+  return ports;
+}
+
+namespace {
+
+void tour_rec(const graph::Graph& g, NodeId x, std::vector<bool>& visited,
+              std::vector<PortId>& ports, std::vector<NodeId>* order) {
+  visited[x] = true;
+  for (PortId p = 0; p < g.degree(x); ++p) {
+    const graph::HalfEdge& h = g.peer(x, p);
+    if (visited[h.to]) continue;
+    ports.push_back(p);
+    if (order) order->push_back(h.to);
+    tour_rec(g, h.to, visited, ports, order);
+    ports.push_back(h.to_port);
+    if (order) order->push_back(x);
+  }
+}
+
+}  // namespace
+
+std::vector<PortId> tour_ports(const graph::Graph& g, NodeId start,
+                               std::vector<NodeId>* visit_order) {
+  QELECT_CHECK(start < g.node_count(), "tour_ports: node out of range");
+  QELECT_CHECK(g.is_connected(), "tour_ports: graph must be connected");
+  std::vector<bool> visited(g.node_count(), false);
+  std::vector<PortId> ports;
+  if (visit_order) visit_order->clear();
+  tour_rec(g, start, visited, ports, visit_order);
+  return ports;
+}
+
+}  // namespace qelect::core

@@ -1,0 +1,124 @@
+#include "qelect/core/analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qelect/cayley/translation.hpp"
+#include "qelect/core/surrounding.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/parallel.hpp"
+#include "qelect/util/math.hpp"
+#include "qelect/views/symmetricity.hpp"
+
+namespace qelect::core {
+
+std::size_t ProtocolClassPlan::phases_executed() const {
+  // Phase index i consumes classes[i+1]; ELECT stops as soon as the active
+  // set has a single member (the while-loops' |D| > 1 guard), including
+  // before the first phase when |C_1| == 1.
+  if (!sizes.empty() && sizes.front() == 1) return 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] == 1) return i + 1;
+  }
+  return d.size();
+}
+
+ProtocolClassPlan protocol_plan(const graph::Graph& g,
+                                const graph::Placement& p) {
+  QELECT_CHECK(p.agent_count() > 0, "protocol_plan: no agents placed");
+  const iso::OrderedClasses ordered = surrounding_classes(g, p);
+
+  ProtocolClassPlan plan;
+  // Black classes first (prec order), then white classes (prec order);
+  // class membership is color-pure because automorphisms preserve the
+  // bi-coloring.
+  for (const auto& cls : ordered.classes) {
+    if (p.is_home_base(cls.front())) plan.classes.push_back(cls);
+  }
+  plan.ell = plan.classes.size();
+  for (const auto& cls : ordered.classes) {
+    if (!p.is_home_base(cls.front())) plan.classes.push_back(cls);
+  }
+  for (const auto& cls : plan.classes) {
+    for ([[maybe_unused]] NodeId x : cls) {
+      QELECT_ASSERT(p.is_home_base(x) == p.is_home_base(cls.front()));
+    }
+    plan.sizes.push_back(cls.size());
+  }
+  std::uint64_t running = plan.sizes.front();
+  for (std::size_t i = 1; i < plan.sizes.size(); ++i) {
+    running = std::gcd(running, plan.sizes[i]);
+    plan.d.push_back(running);
+  }
+  plan.final_gcd = gcd_all(plan.sizes);
+  QELECT_ASSERT(plan.d.empty() || plan.d.back() == plan.final_gcd);
+  return plan;
+}
+
+std::string FeasibilityReport::verdict_string() const {
+  switch (verdict) {
+    case Verdict::Possible:
+      return "possible";
+    case Verdict::Impossible:
+      return "impossible";
+    case Verdict::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+FeasibilityReport analyze(const graph::Graph& g, const graph::Placement& p,
+                          bool check_cayley, std::size_t exhaustive_alphabet) {
+  FeasibilityReport report;
+  report.plan = protocol_plan(g, p);
+  report.elect_succeeds = report.plan.final_gcd == 1;
+  if (report.elect_succeeds) {
+    report.verdict = Verdict::Possible;
+  }
+  if (check_cayley) {
+    report.cayley_checked = true;
+    const cayley::RecognitionResult rec = cayley::recognize_cayley(g);
+    report.is_cayley = rec.is_cayley;
+    report.cayley_enumeration_complete = rec.aut_enumeration_complete;
+    report.aut_order = rec.aut_order;
+    report.regular_subgroup_count = rec.regular_subgroups.size();
+    if (rec.is_cayley) {
+      report.translation_obstruction =
+          cayley::max_translation_obstruction(rec.regular_subgroups, p);
+      if (report.translation_obstruction > 1) {
+        // Theorem 4.1's construction turns this subgroup into a labeling
+        // with all ~lab classes of size > 1; Theorem 2.1 then applies.  A
+        // simultaneous gcd == 1 would contradict the two theorems.
+        QELECT_CHECK(!report.elect_succeeds,
+                     "theory violation: translation obstruction with gcd 1");
+        report.verdict = Verdict::Impossible;
+      }
+    }
+  }
+  if (report.verdict == Verdict::Unknown && exhaustive_alphabet > 0 &&
+      impossibility_by_exhaustive_labelings(g, p, exhaustive_alphabet)) {
+    QELECT_CHECK(!report.elect_succeeds,
+                 "theory violation: labeling obstruction with gcd 1");
+    report.verdict = Verdict::Impossible;
+  }
+  return report;
+}
+
+std::vector<FeasibilityReport> analyze_batch(
+    const std::vector<InstanceSpec>& instances, bool check_cayley,
+    unsigned threads) {
+  return parallel_map<FeasibilityReport>(
+      instances.size(),
+      [&](std::size_t i) {
+        return analyze(instances[i].g, instances[i].p, check_cayley);
+      },
+      threads);
+}
+
+bool impossibility_by_exhaustive_labelings(const graph::Graph& g,
+                                           const graph::Placement& p,
+                                           std::size_t alphabet) {
+  return views::exists_labeling_with_all_classes_nontrivial(g, p, alphabet);
+}
+
+}  // namespace qelect::core

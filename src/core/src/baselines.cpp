@@ -1,0 +1,77 @@
+#include "qelect/core/baselines.hpp"
+
+#include <algorithm>
+
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::core {
+
+sim::Behavior quantitative_agent(sim::AgentCtx& ctx) {
+  QELECT_CHECK(ctx.quantitative_id().has_value(),
+               "quantitative_agent needs a quantitative world");
+  // Phase 1: collect all labels (map drawing reads every home-base sign).
+  const AgentMap map = co_await map_drawing(ctx);
+  // Phase 2: elect the maximum label.  Comparability makes this a purely
+  // local decision: every agent computes the same maximum.
+  std::int64_t best = *ctx.quantitative_id();
+  NodeId best_node = 0;
+  for (NodeId v = 0; v < map.graph.node_count(); ++v) {
+    if (map.base_id[v].has_value() && *map.base_id[v] > best) {
+      best = *map.base_id[v];
+      best_node = v;
+    }
+  }
+  if (best == *ctx.quantitative_id()) {
+    ctx.declare_leader();
+  } else {
+    QELECT_ASSERT(map.base_color[best_node].has_value());
+    ctx.declare_defeated(*map.base_color[best_node]);
+  }
+}
+
+sim::Protocol make_quantitative_protocol() {
+  return [](sim::AgentCtx& ctx) { return quantitative_agent(ctx); };
+}
+
+namespace {
+
+inline constexpr std::uint32_t kTagWalkerPebble = sim::kFirstProtocolTag + 40;
+
+sim::Behavior anonymous_walker(sim::AgentCtx& ctx,
+                               std::shared_ptr<WalkTraces> traces,
+                               std::size_t agent_slot, std::size_t steps) {
+  auto& trace = (*traces)[agent_slot];
+  for (std::size_t step = 0; step < steps; ++step) {
+    WalkObservation obs;
+    obs.degree = ctx.degree();
+    obs.entry_port = ctx.entry_port() ? static_cast<std::int64_t>(
+                                            *ctx.entry_port())
+                                      : -1;
+    co_await ctx.board([&](sim::Whiteboard& wb) {
+      // Count ignores colors: an anonymous agent cannot attribute signs.
+      obs.sign_count = wb.count_tag(kTagWalkerPebble);
+      wb.post(sim::Sign{ctx.self(), kTagWalkerPebble, {}});
+    });
+    trace.push_back(obs);
+    const auto out =
+        ctx.entry_port()
+            ? static_cast<graph::PortId>((*ctx.entry_port() + 1) %
+                                         ctx.degree())
+            : graph::PortId{0};
+    co_await ctx.move(out);
+  }
+}
+
+}  // namespace
+
+sim::Protocol make_anonymous_walker(std::shared_ptr<WalkTraces> traces,
+                                    std::size_t steps) {
+  return [traces, steps](sim::AgentCtx& ctx) {
+    traces->emplace_back();
+    const std::size_t slot = traces->size() - 1;
+    return anonymous_walker(ctx, traces, slot, steps);
+  };
+}
+
+}  // namespace qelect::core

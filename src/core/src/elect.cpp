@@ -1,0 +1,653 @@
+#include "qelect/core/elect.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/math.hpp"
+
+namespace qelect::core {
+
+namespace {
+
+using sim::AgentCtx;
+using sim::Color;
+using sim::Sign;
+using sim::Task;
+using sim::Whiteboard;
+
+/// A set of agents as this agent tracks it: colors plus home-base map
+/// nodes.  Order is this agent's private map order; only membership is
+/// shared knowledge.
+struct Squad {
+  std::vector<Color> colors;
+  std::vector<NodeId> homes;
+
+  std::size_t size() const { return colors.size(); }
+  bool contains(const Color& c) const {
+    return std::find(colors.begin(), colors.end(), c) != colors.end();
+  }
+  void add(const Color& c, NodeId home) {
+    colors.push_back(c);
+    homes.push_back(home);
+  }
+  /// Removes every member whose color appears in `out`.
+  void remove_all(const std::vector<Color>& out) {
+    for (std::size_t i = colors.size(); i-- > 0;) {
+      if (std::find(out.begin(), out.end(), colors[i]) != out.end()) {
+        colors.erase(colors.begin() + static_cast<std::ptrdiff_t>(i));
+        homes.erase(homes.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+};
+
+/// Tracks the agent's physical position within its own map.
+struct Navigator {
+  const AgentMap* map = nullptr;
+  NodeId here = 0;
+};
+
+Task<void> goto_node(AgentCtx& ctx, Navigator& nav, NodeId target) {
+  const auto ports = route(nav.map->graph, nav.here, target);
+  for (PortId p : ports) {
+    co_await ctx.move(p);
+  }
+  nav.here = target;
+}
+
+/// Number of signs with `tag` whose payload starts with (phase, round),
+/// counting distinct colors.
+std::size_t count_round_signs(const Whiteboard& wb, std::uint32_t tag,
+                              std::int64_t phase, std::int64_t round) {
+  std::vector<Color> seen;
+  for (const Sign& s : wb.signs()) {
+    if (s.tag != tag || s.payload.size() < 2) continue;
+    if (s.payload[0] != phase || s.payload[1] != round) continue;
+    if (std::find(seen.begin(), seen.end(), s.color) == seen.end()) {
+      seen.push_back(s.color);
+    }
+  }
+  return seen.size();
+}
+
+/// Colors of signs with `tag` and payload prefix (phase, round).
+std::vector<Color> colors_of_round_signs(const Whiteboard& wb,
+                                         std::uint32_t tag,
+                                         std::int64_t phase,
+                                         std::int64_t round) {
+  std::vector<Color> out;
+  for (const Sign& s : wb.signs()) {
+    if (s.tag != tag || s.payload.size() < 2) continue;
+    if (s.payload[0] != phase || s.payload[1] != round) continue;
+    if (std::find(out.begin(), out.end(), s.color) == out.end()) {
+      out.push_back(s.color);
+    }
+  }
+  return out;
+}
+
+/// All-to-all barrier among `squad` (which includes self): post a barrier
+/// sign at the own home-base, then visit every squad home-base and wait for
+/// its member's sign.  On return every member has posted.  `flag` is a
+/// per-agent value piggybacked on the sign (e.g. "I stay active"); it does
+/// not participate in the match, so members with different flags still
+/// rendezvous.
+Task<void> barrier(AgentCtx& ctx, Navigator& nav, NodeId my_home,
+                   const Squad& squad, std::int64_t phase, std::int64_t round,
+                   std::int64_t stage, std::int64_t flag = 0) {
+  co_await goto_node(ctx, nav, my_home);
+  co_await ctx.board([&](Whiteboard& wb) {
+    wb.post(Sign{ctx.self(), kTagBarrier, {phase, round, stage, flag}});
+  });
+  for (std::size_t i = 0; i < squad.size(); ++i) {
+    const Color who = squad.colors[i];
+    co_await goto_node(ctx, nav, squad.homes[i]);
+    co_await ctx.wait_until([who, phase, round, stage](const Whiteboard& wb) {
+      for (const Sign& s : wb.signs()) {
+        if (s.tag == kTagBarrier && s.color == who && s.payload.size() == 4 &&
+            s.payload[0] == phase && s.payload[1] == round &&
+            s.payload[2] == stage) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+}
+
+/// Posts `sign` at every node of `targets`.
+Task<void> post_at_nodes(AgentCtx& ctx, Navigator& nav,
+                         const std::vector<NodeId>& targets, Sign sign) {
+  for (NodeId t : targets) {
+    co_await goto_node(ctx, nav, t);
+    co_await ctx.board([&](Whiteboard& wb) { wb.post(sign); });
+  }
+}
+
+/// The terminal wait for inactive agents: sit at home until an outcome sign
+/// appears, then adopt it.
+Task<void> await_outcome(AgentCtx& ctx, Navigator& nav, NodeId my_home) {
+  co_await goto_node(ctx, nav, my_home);
+  co_await ctx.wait_until([](const Whiteboard& wb) {
+    return wb.find_tag(kTagOutcome) != nullptr;
+  });
+  std::optional<Sign> outcome;
+  co_await ctx.board([&](Whiteboard& wb) {
+    if (const Sign* s = wb.find_tag(kTagOutcome)) outcome = *s;
+  });
+  QELECT_ASSERT(outcome.has_value());
+  if (outcome->payload.front() == kOutcomeLeader) {
+    if (outcome->color == ctx.self()) {
+      ctx.declare_leader();  // cannot happen for a waiting agent, kept safe
+    } else {
+      ctx.declare_defeated(outcome->color);
+    }
+  } else {
+    ctx.declare_failure_detected();
+  }
+}
+
+/// The announcement tour run by the final active agents: post the outcome
+/// at every node, then terminate accordingly.  With `tidy` set, the tour
+/// also erases all protocol working signs (the model allows erasing), so a
+/// finished board carries only home-base marks and the outcome.
+Task<void> announce(AgentCtx& ctx, Navigator& nav, bool leader, bool tidy) {
+  std::vector<NodeId> order;
+  const auto ports = tour_ports(nav.map->graph, nav.here, &order);
+  const Sign sign{ctx.self(),
+                  kTagOutcome,
+                  {leader ? kOutcomeLeader : kOutcomeFailure}};
+  const auto stamp = [&](Whiteboard& wb) {
+    if (tidy) {
+      wb.erase_if([](const Sign& s) {
+        return s.tag >= sim::kFirstProtocolTag && s.tag != kTagOutcome;
+      });
+    }
+    wb.post(sign);
+  };
+  co_await ctx.board(stamp);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    co_await ctx.move(ports[i]);
+    nav.here = order[i];
+    co_await ctx.board(stamp);
+  }
+  if (leader) {
+    ctx.declare_leader();
+  } else {
+    ctx.declare_failure_detected();
+  }
+}
+
+/// One AGENT-REDUCE matching round from the searcher's point of view.
+/// Returns the colors of the waiting agents that were matched this round.
+Task<std::vector<Color>> searcher_round(AgentCtx& ctx, Navigator& nav,
+                                        NodeId my_home, const Squad& searchers,
+                                        const Squad& waiting,
+                                        std::int64_t phase,
+                                        std::int64_t round) {
+  // Match pass: visit waiting home-bases until one is matched by us.
+  bool matched = false;
+  for (std::size_t i = 0; i < waiting.size() && !matched; ++i) {
+    co_await goto_node(ctx, nav, waiting.homes[i]);
+    co_await ctx.board([&](Whiteboard& wb) {
+      bool taken = false;
+      for (const Sign& s : wb.signs()) {
+        if (s.tag == kTagMatched && s.payload.size() == 2 &&
+            s.payload[0] == phase && s.payload[1] == round) {
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) {
+        wb.post(Sign{ctx.self(), kTagMatched, {phase, round}});
+        matched = true;
+      }
+    });
+  }
+  QELECT_CHECK(matched,
+               "agent-reduce: searcher finished its pass unmatched; "
+               "|S| <= |W| should make this impossible");
+  // Finalization barrier among searchers: afterwards the matched set is
+  // stable and can be read consistently.
+  co_await barrier(ctx, nav, my_home, searchers, phase, round, /*stage=*/0);
+  // Completion pass: learn the matched set (a sign's color names its
+  // *matcher*; the matched agent is the owner of the home-base it sits on)
+  // and notify the waiting agents that the round is over ("visited by all
+  // the searching agents").
+  std::vector<Color> matched_colors;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    co_await goto_node(ctx, nav, waiting.homes[i]);
+    bool this_matched = false;
+    co_await ctx.board([&](Whiteboard& wb) {
+      for (const Sign& s : wb.signs()) {
+        if (s.tag == kTagMatched && s.payload.size() == 2 &&
+            s.payload[0] == phase && s.payload[1] == round) {
+          this_matched = true;
+          break;
+        }
+      }
+      wb.post(Sign{ctx.self(), kTagRoundDone, {phase, round}});
+    });
+    if (this_matched) matched_colors.push_back(waiting.colors[i]);
+  }
+  co_return matched_colors;
+}
+
+/// One AGENT-REDUCE round from the waiting agent's point of view.  Returns
+/// (i_was_matched, colors of all matched waiting agents this round).
+struct WaitRoundResult {
+  bool i_was_matched = false;
+  bool outcome_posted = false;  // the election ended while we waited
+  std::vector<Color> matched_colors;
+};
+Task<WaitRoundResult> waiting_round(AgentCtx& ctx, Navigator& nav,
+                                    NodeId my_home, std::size_t searcher_count,
+                                    std::int64_t phase, std::int64_t round) {
+  co_await goto_node(ctx, nav, my_home);
+  // An outcome sign also wakes the wait: the election can finish (and a
+  // tidy announcement can erase working signs) while this agent was still
+  // waiting to observe the round.
+  co_await ctx.wait_until([searcher_count, phase, round](const Whiteboard& wb) {
+    return wb.find_tag(kTagOutcome) != nullptr ||
+           count_round_signs(wb, kTagRoundDone, phase, round) >=
+               searcher_count;
+  });
+  WaitRoundResult result;
+  co_await ctx.board([&](Whiteboard& wb) {
+    if (wb.find_tag(kTagOutcome) != nullptr) {
+      result.outcome_posted = true;
+      return;
+    }
+    for (const Sign& s : wb.signs()) {
+      if (s.tag == kTagMatched && s.payload.size() == 2 &&
+          s.payload[0] == phase && s.payload[1] == round) {
+        result.i_was_matched = true;
+      }
+    }
+  });
+  if (result.i_was_matched) {
+    // Tell the rest of the waiting squad that we are out (they cannot
+    // learn it otherwise: signs identify their writer only).
+    co_await ctx.board([&](Whiteboard& wb) {
+      wb.post(Sign{ctx.self(), kTagPassive, {phase, round}});
+    });
+  }
+  // Everyone in the waiting squad must learn the full matched set; matched
+  // agents announce themselves with kTagPassive signs on every waiting
+  // home-base.  Wait until |S| passive announcements are visible here.
+  // (Each matched agent posts at every waiting home-base, ours included.)
+  co_return result;
+}
+
+}  // namespace
+
+std::size_t ElectTrace::max_phase() const {
+  std::size_t best = 0;
+  for (const PhaseRecord& r : phases) best = std::max(best, r.phase);
+  return best;
+}
+
+std::size_t ElectTrace::rounds_of_phase(std::size_t phase) const {
+  std::size_t best = 0;
+  for (const PhaseRecord& r : phases) {
+    if (r.phase == phase) best = std::max(best, r.rounds);
+  }
+  return best;
+}
+
+sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
+                                        std::shared_ptr<ElectTrace> trace,
+                                        bool tidy) {
+  // Notes the agent's terminal state in the shared trace.
+  const auto note_exit = [&ctx, trace] {
+    if (!trace) return;
+    if (ctx.status() == sim::AgentStatus::Leader) ++trace->leaders;
+    if (ctx.status() == sim::AgentStatus::FailureDetected) {
+      ++trace->failure_detectors;
+    }
+  };
+  // ---- MAP-DRAWING ----
+  AgentMap map = co_await map_drawing(ctx);
+  Navigator nav{&map, 0};
+  const NodeId my_home = 0;
+
+  // ---- COMPUTE & ORDER ----
+  const ProtocolClassPlan plan = protocol_plan(map.graph, map.placement());
+  const std::size_t k = plan.classes.size();
+  const std::size_t ell = plan.ell;
+
+  // Locate my class (home-base is map node 0).
+  std::size_t my_class = k;
+  for (std::size_t i = 0; i < ell; ++i) {
+    const auto& cls = plan.classes[i];
+    if (std::find(cls.begin(), cls.end(), my_home) != cls.end()) {
+      my_class = i;
+      break;
+    }
+  }
+  QELECT_CHECK(my_class < ell, "elect: home-base not in a black class");
+
+  auto squad_of_class = [&](std::size_t idx) {
+    Squad s;
+    for (NodeId v : plan.classes[idx]) {
+      QELECT_ASSERT(map.base_color[v].has_value());
+      s.add(*map.base_color[v], v);
+    }
+    return s;
+  };
+  auto home_of_color = [&](const Color& c) -> NodeId {
+    for (NodeId v = 0; v < map.base_color.size(); ++v) {
+      if (map.base_color[v].has_value() && *map.base_color[v] == c) return v;
+    }
+    QELECT_CHECK(false, "elect: unknown agent color");
+    return 0;
+  };
+
+  // Number of active agents entering phase j (1-based class index).
+  auto active_count_before_phase = [&](std::size_t j) -> std::uint64_t {
+    return j <= 1 ? plan.sizes[0] : plan.d[j - 2];
+  };
+
+  // ---- Wait for activation if I am not in C_1 ----
+  bool active = (my_class == 0);
+  Squad actives;  // current D (meaningful while `active` or before passivity)
+  if (active) {
+    actives = squad_of_class(0);
+  } else {
+    // Dormant until my class's phase starts -- or until the protocol ends
+    // without ever reaching it.
+    const std::int64_t phase = static_cast<std::int64_t>(my_class);
+    const std::size_t expected = active_count_before_phase(my_class);
+    co_await ctx.wait_until([phase, expected](const Whiteboard& wb) {
+      if (wb.find_tag(kTagOutcome) != nullptr) return true;
+      std::vector<Color> seen;
+      for (const Sign& s : wb.signs()) {
+        if (s.tag != kTagActivate || s.payload.size() != 1 ||
+            s.payload[0] != phase) {
+          continue;
+        }
+        if (std::find(seen.begin(), seen.end(), s.color) == seen.end()) {
+          seen.push_back(s.color);
+        }
+      }
+      return seen.size() >= expected;
+    });
+    bool ended = false;
+    std::vector<Color> activators;
+    co_await ctx.board([&](Whiteboard& wb) {
+      if (wb.find_tag(kTagOutcome) != nullptr) {
+        ended = true;
+        return;
+      }
+      for (const Sign& s : wb.signs()) {
+        if (s.tag == kTagActivate && s.payload.size() == 1 &&
+            s.payload[0] == static_cast<std::int64_t>(my_class)) {
+          if (std::find(activators.begin(), activators.end(), s.color) ==
+              activators.end()) {
+            activators.push_back(s.color);
+          }
+        }
+      }
+    });
+    if (ended) {
+      co_await await_outcome(ctx, nav, my_home);
+      note_exit();
+      co_return ElectInnerResult{std::move(map), nav.here};
+    }
+    // The activators are the current D.
+    for (const Color& c : activators) actives.add(c, home_of_color(c));
+    active = true;
+  }
+
+  // ---- Reduction phases ----
+  // `actives` currently holds D (when my_class == 0) or D (activators) --
+  // in the latter case phase my_class is about to consume my own class.
+  std::uint64_t d_current = active_count_before_phase(
+      my_class == 0 ? 1 : my_class);  // |D| entering the next phase
+
+  const std::size_t first_phase = (my_class == 0) ? 1 : my_class;
+  bool i_am_active = true;
+
+  for (std::size_t j = first_phase; j < k && i_am_active; ++j) {
+    if (d_current == 1) break;  // |D| = 1: the loop guards of Figure 3
+    const std::int64_t phase = static_cast<std::int64_t>(j);
+    const bool agent_phase = j < ell;
+
+    if (agent_phase) {
+      Squad class_squad = squad_of_class(j);
+      const bool i_am_d = actives.contains(ctx.self());
+      [[maybe_unused]] const bool i_am_c = (my_class == j);
+      QELECT_ASSERT(i_am_d != i_am_c);
+
+      if (i_am_d) {
+        // Wake the members of C_j ("agents in D start activating the
+        // agents of C_j by visiting them").
+        Sign activate_sign;
+        activate_sign.color = ctx.self();
+        activate_sign.tag = kTagActivate;
+        activate_sign.payload.push_back(phase);
+        co_await post_at_nodes(ctx, nav, plan.classes[j], activate_sign);
+        if (trace) trace->activations_posted += plan.classes[j].size();
+      }
+
+      // AGENT-REDUCE(D, C_j).
+      Squad d_squad = actives;
+      // Tie rule: S = D when |D| <= |C|; otherwise S = C.
+      Squad searching = (d_squad.size() <= class_squad.size()) ? d_squad
+                                                               : class_squad;
+      Squad waiting = (d_squad.size() <= class_squad.size()) ? class_squad
+                                                             : d_squad;
+      bool i_passive = false;
+      std::int64_t round = 0;
+      while (searching.size() < waiting.size() && !i_passive) {
+        const bool i_search = searching.contains(ctx.self());
+        std::vector<Color> matched_colors;
+        if (i_search) {
+          matched_colors =
+              co_await searcher_round(ctx, nav, my_home, searching, waiting,
+                                      phase, round);
+          if (trace) ++trace->matches_posted;
+        } else {
+          const WaitRoundResult wr = co_await waiting_round(
+              ctx, nav, my_home, searching.size(), phase, round);
+          if (wr.outcome_posted) {
+            co_await await_outcome(ctx, nav, my_home);
+            note_exit();
+            co_return ElectInnerResult{std::move(map), nav.here};
+          }
+          if (wr.i_was_matched) {
+            i_passive = true;
+            // Announce passivity on every waiting home-base so the others
+            // can maintain the squad membership.
+            Sign passive_sign;
+            passive_sign.color = ctx.self();
+            passive_sign.tag = kTagPassive;
+            passive_sign.payload.push_back(phase);
+            passive_sign.payload.push_back(round);
+            co_await post_at_nodes(ctx, nav, waiting.homes, passive_sign);
+            break;
+          }
+          // Learn the full matched set: wait for |S| passive announcements
+          // (or the outcome, if the election raced to completion).
+          const std::size_t expect = searching.size();
+          co_await ctx.wait_until([expect, phase, round](const Whiteboard& wb) {
+            return wb.find_tag(kTagOutcome) != nullptr ||
+                   count_round_signs(wb, kTagPassive, phase, round) >= expect;
+          });
+          bool ended = false;
+          co_await ctx.board([&](Whiteboard& wb) {
+            ended = wb.find_tag(kTagOutcome) != nullptr;
+            matched_colors =
+                colors_of_round_signs(wb, kTagPassive, phase, round);
+          });
+          if (ended) {
+            co_await await_outcome(ctx, nav, my_home);
+            note_exit();
+            co_return ElectInnerResult{std::move(map), nav.here};
+          }
+        }
+        QELECT_CHECK(matched_colors.size() == searching.size(),
+                     "agent-reduce: matched set size must equal |S|");
+        // Update rule of Section 3.3.1.
+        Squad remaining = waiting;
+        remaining.remove_all(matched_colors);
+        if (waiting.size() - searching.size() >= searching.size()) {
+          waiting = std::move(remaining);
+        } else {
+          std::swap(searching, remaining);
+          waiting = std::move(remaining);  // old searchers now wait
+        }
+        ++round;
+      }
+      if (trace) {
+        trace->phases.push_back(ElectTrace::PhaseRecord{
+            j, true, static_cast<std::size_t>(round)});
+      }
+      if (i_passive || !searching.contains(ctx.self())) {
+        // Waiting agents left over when |S| == |W| become passive too.
+        i_am_active = searching.contains(ctx.self()) && !i_passive;
+      }
+      if (!i_am_active) {
+        co_await await_outcome(ctx, nav, my_home);
+        note_exit();
+        co_return ElectInnerResult{std::move(map), nav.here};
+      }
+      actives = searching;
+      d_current = std::gcd(d_current, plan.sizes[j]);
+      QELECT_ASSERT(actives.size() == d_current);
+    } else {
+      // ---- NODE-REDUCE(D, C_j) ----
+      std::vector<NodeId> selected = plan.classes[j];
+      std::uint64_t alpha = actives.size();
+      std::uint64_t beta = selected.size();
+      std::int64_t round = 0;
+      bool i_acquired_out = false;
+      while (alpha != beta && !i_acquired_out) {
+        if (alpha > beta) {
+          // Case 1: each node takes q acquirers; rho agents stay active.
+          const std::uint64_t rho = remainder_in_range(alpha, beta);
+          const std::uint64_t q = (alpha - rho) / beta;
+          bool mine = false;
+          for (NodeId node : selected) {
+            if (mine) break;
+            co_await goto_node(ctx, nav, node);
+            co_await ctx.board([&](Whiteboard& wb) {
+              if (count_round_signs(wb, kTagAcquire, phase, round) <
+                  static_cast<std::size_t>(q)) {
+                wb.post(Sign{ctx.self(), kTagAcquire, {phase, round}});
+                mine = true;
+                if (trace) ++trace->acquires_posted;
+              }
+            });
+          }
+          // Barrier among the current actives; the barrier sign carries the
+          // agent's continuing(1)/passive(0) flag.
+          co_await barrier(ctx, nav, my_home, actives, phase, round,
+                           /*stage=*/2, /*flag=*/mine ? 0 : 1);
+          // Read every active's flag to maintain the squad.
+          Squad next;
+          for (std::size_t i = 0; i < actives.size(); ++i) {
+            const Color who = actives.colors[i];
+            co_await goto_node(ctx, nav, actives.homes[i]);
+            bool stays = false;
+            co_await ctx.board([&](Whiteboard& wb) {
+              for (const Sign& s : wb.signs()) {
+                if (s.tag == kTagBarrier && s.color == who &&
+                    s.payload.size() == 4 && s.payload[0] == phase &&
+                    s.payload[1] == round && s.payload[2] == 2 &&
+                    s.payload[3] == 1) {
+                  stays = true;
+                }
+              }
+            });
+            if (stays) next.add(who, actives.homes[i]);
+          }
+          QELECT_CHECK(next.size() == rho,
+                       "node-reduce: continuing agent count mismatch");
+          if (mine) {
+            i_acquired_out = true;
+            i_am_active = false;
+          } else {
+            actives = std::move(next);
+          }
+          alpha = rho;
+        } else {
+          // Case 2: each agent acquires q nodes; rho nodes stay selected.
+          const std::uint64_t rho = remainder_in_range(beta, alpha);
+          const std::uint64_t q = (beta - rho) / alpha;
+          std::uint64_t held = 0;
+          while (held < q) {
+            const std::uint64_t before = held;
+            for (NodeId node : selected) {
+              if (held == q) break;
+              co_await goto_node(ctx, nav, node);
+              co_await ctx.board([&](Whiteboard& wb) {
+                if (count_round_signs(wb, kTagAcquire, phase, round) == 0) {
+                  wb.post(Sign{ctx.self(), kTagAcquire, {phase, round}});
+                  ++held;
+                  if (trace) ++trace->acquires_posted;
+                }
+              });
+            }
+            if (held == before) {
+              // Full pass without progress: give the scheduler room before
+              // rescanning (another agent still owes acquisitions).
+              co_await ctx.yield();
+            }
+          }
+          co_await barrier(ctx, nav, my_home, actives, phase, round,
+                           /*stage=*/4);
+          // Learn the surviving selected set.
+          std::vector<NodeId> next_selected;
+          for (NodeId node : selected) {
+            co_await goto_node(ctx, nav, node);
+            bool taken = false;
+            co_await ctx.board([&](Whiteboard& wb) {
+              taken = count_round_signs(wb, kTagAcquire, phase, round) > 0;
+            });
+            if (!taken) next_selected.push_back(node);
+          }
+          QELECT_CHECK(next_selected.size() == rho,
+                       "node-reduce: surviving node count mismatch");
+          selected = std::move(next_selected);
+          beta = rho;
+        }
+        ++round;
+      }
+      if (trace) {
+        trace->phases.push_back(ElectTrace::PhaseRecord{
+            j, false, static_cast<std::size_t>(round)});
+      }
+      if (!i_am_active) {
+        co_await await_outcome(ctx, nav, my_home);
+        note_exit();
+        co_return ElectInnerResult{std::move(map), nav.here};
+      }
+      d_current = std::gcd(d_current, plan.sizes[j]);
+      QELECT_ASSERT(actives.size() == d_current);
+    }
+  }
+
+  // ---- Announcement ----
+  QELECT_ASSERT(i_am_active);
+  co_await announce(ctx, nav, /*leader=*/d_current == 1, tidy);
+  note_exit();
+  co_return ElectInnerResult{std::move(map), nav.here};
+}
+
+sim::Behavior elect_agent(sim::AgentCtx& ctx,
+                          std::shared_ptr<ElectTrace> trace, bool tidy) {
+  co_await elect_inner(ctx, trace, tidy);
+}
+
+sim::Protocol make_elect_protocol(std::shared_ptr<ElectTrace> trace,
+                                  bool tidy) {
+  return [trace, tidy](sim::AgentCtx& ctx) {
+    return elect_agent(ctx, trace, tidy);
+  };
+}
+
+}  // namespace qelect::core

@@ -1,0 +1,38 @@
+#include "qelect/core/gather.hpp"
+
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::core {
+
+sim::Behavior gather_agent(sim::AgentCtx& ctx,
+                           std::shared_ptr<ElectTrace> trace) {
+  ElectInnerResult result = co_await elect_inner(ctx, std::move(trace), false);
+  const graph::Graph& g = result.map.graph;
+
+  // Pick the rendezvous node: the leader's home-base in this agent's map.
+  NodeId target = 0;  // the leader itself gathers at its own home (node 0)
+  if (ctx.status() == sim::AgentStatus::Defeated) {
+    const sim::Color leader = ctx.leader_color();
+    bool found = false;
+    for (NodeId v = 0; v < result.map.base_color.size(); ++v) {
+      if (result.map.base_color[v].has_value() &&
+          *result.map.base_color[v] == leader) {
+        target = v;
+        found = true;
+        break;
+      }
+    }
+    QELECT_CHECK(found, "gather: leader color has no home-base in the map");
+  } else if (ctx.status() == sim::AgentStatus::FailureDetected) {
+    target = 0;  // no meeting point exists; stay home (effectual behavior)
+  }
+
+  co_await follow_ports(ctx, route(g, result.here, target));
+}
+
+sim::Protocol make_gather_protocol(std::shared_ptr<ElectTrace> trace) {
+  return [trace](sim::AgentCtx& ctx) { return gather_agent(ctx, trace); };
+}
+
+}  // namespace qelect::core

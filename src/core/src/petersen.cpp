@@ -1,0 +1,138 @@
+#include "qelect/core/petersen.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::core {
+
+namespace {
+
+using sim::Sign;
+using sim::Whiteboard;
+
+std::vector<NodeId> neighbors_of(const graph::Graph& g, NodeId x) {
+  std::vector<NodeId> out;
+  for (const graph::HalfEdge& h : g.ports(x)) out.push_back(h.to);
+  return out;
+}
+
+}  // namespace
+
+sim::Behavior petersen_agent(sim::AgentCtx& ctx) {
+  const AgentMap map = co_await map_drawing(ctx);
+  const graph::Graph& g = map.graph;
+  QELECT_CHECK(g.node_count() == 10 && g.is_regular() && g.degree(0) == 3,
+               "petersen_agent: graph is not Petersen-shaped");
+  QELECT_CHECK(map.agent_count() == 2,
+               "petersen_agent: exactly two agents required");
+
+  const NodeId my_home = 0;
+  NodeId other_home = 0;
+  sim::Color other;
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    if (map.base_color[v].has_value()) {
+      other_home = v;
+      other = *map.base_color[v];
+    }
+  }
+  const auto my_neighbors = neighbors_of(g, my_home);
+  QELECT_CHECK(std::find(my_neighbors.begin(), my_neighbors.end(),
+                         other_home) != my_neighbors.end(),
+               "petersen_agent: home-bases must be adjacent");
+
+  // Step 2: mark one neighbor of my home-base distinct from the other
+  // home-base (first such in my map order; any deterministic choice works).
+  NodeId my_mark = g.node_count();
+  for (NodeId v : my_neighbors) {
+    if (v != other_home) {
+      my_mark = v;
+      break;
+    }
+  }
+  QELECT_ASSERT(my_mark < g.node_count());
+  {
+    const auto ports = route(g, my_home, my_mark);
+    co_await follow_ports(ctx, ports);
+    co_await ctx.board([&](Whiteboard& wb) {
+      wb.post(Sign{ctx.self(), kTagPetersenMark, {}});
+    });
+  }
+  // Announce completion at the other agent's home-base, then wait at my own
+  // home-base for the symmetric announcement (deadlock-free: both post
+  // before waiting).
+  {
+    const auto ports = route(g, my_mark, other_home);
+    co_await follow_ports(ctx, ports);
+    co_await ctx.board([&](Whiteboard& wb) {
+      wb.post(Sign{ctx.self(), kTagPetersenDone, {}});
+    });
+    const auto home_ports = route(g, other_home, my_home);
+    co_await follow_ports(ctx, home_ports);
+    const sim::Color expected = other;
+    co_await ctx.wait_until([expected](const Whiteboard& wb) {
+      return wb.find(kTagPetersenDone, expected) != nullptr;
+    });
+  }
+
+  // Step 3: find which of the other agent's candidate neighbors carries its
+  // mark (the marks are final now).
+  std::optional<NodeId> other_mark;
+  NodeId here = my_home;
+  for (NodeId v : neighbors_of(g, other_home)) {
+    if (v == my_home) continue;
+    const auto ports = route(g, here, v);
+    co_await follow_ports(ctx, ports);
+    here = v;
+    bool marked = false;
+    co_await ctx.board([&](Whiteboard& wb) {
+      marked = wb.find(kTagPetersenMark, other) != nullptr;
+    });
+    if (marked) {
+      other_mark = v;
+      break;
+    }
+  }
+  QELECT_CHECK(other_mark.has_value(),
+               "petersen_agent: other agent's mark not found");
+
+  // Step 4: the unique common neighbor x of the two marks.
+  std::optional<NodeId> x;
+  for (NodeId v : neighbors_of(g, my_mark)) {
+    const auto nb = neighbors_of(g, *other_mark);
+    if (std::find(nb.begin(), nb.end(), v) != nb.end()) {
+      QELECT_CHECK(!x.has_value(),
+                   "petersen_agent: common neighbor not unique");
+      x = v;
+    }
+  }
+  QELECT_CHECK(x.has_value(), "petersen_agent: no common neighbor");
+
+  // Step 5: race to acquire x; mutual exclusion crowns exactly one winner.
+  const auto ports = route(g, here, *x);
+  co_await follow_ports(ctx, ports);
+  bool i_won = false;
+  sim::Color winner;
+  co_await ctx.board([&](Whiteboard& wb) {
+    if (const Sign* w = wb.find_tag(kTagPetersenWin)) {
+      winner = w->color;
+    } else {
+      wb.post(Sign{ctx.self(), kTagPetersenWin, {}});
+      i_won = true;
+      winner = ctx.self();
+    }
+  });
+  if (i_won) {
+    ctx.declare_leader();
+  } else {
+    ctx.declare_defeated(winner);
+  }
+}
+
+sim::Protocol make_petersen_protocol() {
+  return [](sim::AgentCtx& ctx) { return petersen_agent(ctx); };
+}
+
+}  // namespace qelect::core

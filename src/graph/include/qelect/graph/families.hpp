@@ -1,0 +1,98 @@
+// Constructors for the graph families used throughout the paper.
+//
+// Cayley families (ring, hypercube, torus, CCC, circulant, complete) carry
+// the paper's motivating examples from Definition 1.2; the Petersen graph is
+// the vertex-transitive-but-not-Cayley counterexample of Section 4; paths
+// and the Figure 2(c) multigraph are the worked view examples; random
+// connected graphs feed the property-based suites.
+//
+// Note: these constructors fix one particular port numbering.  Protocol
+// correctness must not depend on it; tests re-run everything through
+// Graph::permute_ports to enforce that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/labeling.hpp"
+
+namespace qelect::graph {
+
+/// Cycle C_n (n >= 3).  Port 0 = successor (+1), port 1 = predecessor (-1).
+Graph ring(std::size_t n);
+
+/// Path P_n on n >= 1 nodes: 0 - 1 - ... - n-1.
+Graph path(std::size_t n);
+
+/// Complete graph K_n (n >= 1).
+Graph complete(std::size_t n);
+
+/// Complete bipartite K_{a,b}; side A is nodes [0,a), side B is [a,a+b).
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Star S_n: one center (node 0) with n leaves.
+Graph star(std::size_t leaves);
+
+/// d-dimensional hypercube Q_d (2^d nodes); node ids are bit masks, port i
+/// flips bit i.
+Graph hypercube(unsigned d);
+
+/// Multi-dimensional wrapped torus with side lengths `dims` (each >= 2; a
+/// side of 2 contributes a single edge per axis, making the graph simple).
+Graph torus(const std::vector<std::size_t>& dims);
+
+/// Circulant graph Cay(Z_n, {+-o : o in offsets}); offsets must be in
+/// [1, n/2].  An offset of exactly n/2 (n even) contributes one edge.
+Graph circulant(std::size_t n, const std::vector<std::size_t>& offsets);
+
+/// Cube-Connected-Cycles CCC(d), d >= 3: 2^d cycles of length d.
+Graph cube_connected_cycles(unsigned d);
+
+/// The Petersen graph (10 nodes, 15 edges, 3-regular, vertex-transitive,
+/// not Cayley).  Nodes 0..4 are the outer 5-cycle, 5..9 the inner 5-star;
+/// spokes connect i to i+5.
+Graph petersen();
+
+/// Generalized Petersen graph GP(n, k), 1 <= k < n/2: outer n-cycle
+/// 0..n-1, inner nodes n..2n-1 joined by step k, spokes i -- n+i.
+/// GP(5,2) is the Petersen graph; GP(8,3) is the Moebius-Kantor graph and
+/// GP(12,5) the Nauru graph (both Cayley); GP(n,k) is vertex-transitive
+/// iff k^2 = +-1 (mod n) -- a rich source of borderline instances for the
+/// recognition machinery.
+Graph generalized_petersen(std::size_t n, std::size_t k);
+
+/// Wrapped butterfly WBF(d): d levels of 2^d rows; node (l, w) connects to
+/// ((l+1) mod d, w) and ((l+1) mod d, w xor 2^l) -- one of the paper's
+/// named Cayley-graph interconnection families.  4-regular for d >= 3
+/// (d = 2 and d = 1 produce parallel edges and are rejected).
+Graph wrapped_butterfly(unsigned d);
+
+/// Random connected simple graph: G(n, p) resampled until connected.
+/// p is clamped high enough that connectivity is plausible; gives up (and
+/// falls back to adding a random spanning tree) after 64 attempts.
+Graph random_connected(std::size_t n, double p, std::uint64_t seed);
+
+/// Random tree on n nodes (random Prufer-like attachment).
+Graph random_tree(std::size_t n, std::uint64_t seed);
+
+/// The paper's Figure 2(c) multigraph: a 3-ring plus a double edge {x,y}
+/// and a loop at z, labeled so that all nodes share the same view although
+/// the ~lab classes are singletons.  Returns the graph and the exact edge
+/// labeling of the figure.
+struct Fig2cExample {
+  Graph graph;
+  EdgeLabeling labeling;
+};
+Fig2cExample figure2c();
+
+/// The paper's Figure 2(a)/(b) path {x, y, z} with the quantitative
+/// labeling 1,1 / 2,1 (as an EdgeLabeling over the path).
+struct Fig2PathExample {
+  Graph graph;         // path on 3 nodes: x=0, y=1, z=2
+  EdgeLabeling quantitative;  // Fig 2(a): 1,1,2,1
+  EdgeLabeling qualitative;   // Fig 2(b): *, o, bullet, * coded as symbols
+};
+Fig2PathExample figure2_path();
+
+}  // namespace qelect::graph

@@ -1,0 +1,30 @@
+// Plain-text graph exchange: a tiny edge-list format plus Graphviz export.
+//
+// Format (whitespace tolerant, '#' comments):
+//
+//     n <node-count>
+//     e <u> <v>         # one line per edge, 0-based endpoints
+//
+// Ports are assigned in line order at each endpoint (the insertion-order
+// convention of Graph::add_edge); loops and parallel edges are legal.
+// The CLI example (analyze_file) consumes this format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+
+namespace qelect::graph {
+
+/// Serializes `g` in the edge-list format.
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws CheckError on malformed input.
+Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT export; home-base nodes (if `p` given) are filled black.
+std::string to_dot(const Graph& g, const Placement* p = nullptr);
+
+}  // namespace qelect::graph

@@ -1,0 +1,61 @@
+// Agent placements and the induced bi-coloring of a network.
+//
+// An input of the election problem is a pair (G, p): a graph plus an
+// injective placement of agents onto nodes.  Section 2 of the paper reduces
+// everything about p to the *bi-coloring* it induces (home-bases are black,
+// the rest white); all equivalence notions (~, ~lab, ~view) are required to
+// preserve that coloring.  Placement is that bi-coloring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+
+namespace qelect::graph {
+
+/// The set of home-base (black) nodes of a fixed-size node universe.
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Placement over `node_count` nodes with the given home-bases.
+  /// Home-bases must be in range and pairwise distinct.
+  Placement(std::size_t node_count, std::vector<NodeId> home_bases);
+
+  /// The all-white placement (no agents).
+  static Placement empty(std::size_t node_count);
+
+  std::size_t node_count() const { return black_.size(); }
+  std::size_t agent_count() const { return home_bases_.size(); }
+
+  bool is_home_base(NodeId x) const;
+
+  /// Home-bases in increasing node order.
+  const std::vector<NodeId>& home_bases() const { return home_bases_; }
+
+  /// The bi-coloring as 0 (white) / 1 (black) per node; this is the color
+  /// vector handed to the isomorphism machinery.
+  std::vector<std::uint32_t> node_colors() const;
+
+  /// The image of this placement under a node relabeling sigma
+  /// (sigma[old] = new), matching Graph::relabel_nodes.
+  Placement relabel(const std::vector<NodeId>& sigma) const;
+
+  bool operator==(const Placement&) const = default;
+
+ private:
+  std::vector<bool> black_;
+  std::vector<NodeId> home_bases_;
+};
+
+/// All placements of `agents` agents on `node_count` nodes (combinations in
+/// lexicographic order).  Exponential; for exhaustive small-case tests.
+std::vector<Placement> enumerate_placements(std::size_t node_count,
+                                            std::size_t agents);
+
+/// Uniformly random placement of `agents` agents.
+Placement random_placement(std::size_t node_count, std::size_t agents,
+                           std::uint64_t seed);
+
+}  // namespace qelect::graph

@@ -1,0 +1,309 @@
+#include "qelect/graph/families.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::graph {
+
+Graph ring(std::size_t n) {
+  QELECT_CHECK(n >= 3, "ring requires n >= 3");
+  // Explicit ports give the uniform convention: port 0 of every node is
+  // the +1 (successor) direction, port 1 is the -1 direction.
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(i), 0,
+                         static_cast<NodeId>((i + 1) % n), 1});
+  }
+  return Graph::from_explicit_edges(n, edges);
+}
+
+Graph path(std::size_t n) {
+  QELECT_CHECK(n >= 1, "path requires n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  QELECT_CHECK(n >= 1, "complete requires n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  QELECT_CHECK(a >= 1 && b >= 1, "complete_bipartite requires both sides");
+  Graph g(a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(a + j));
+    }
+  }
+  return g;
+}
+
+Graph star(std::size_t leaves) {
+  QELECT_CHECK(leaves >= 1, "star requires at least one leaf");
+  Graph g(leaves + 1);
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    g.add_edge(0, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph hypercube(unsigned d) {
+  QELECT_CHECK(d >= 1 && d < 25, "hypercube dimension out of range");
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  // Edges added dimension-major so that port i of every node flips bit i.
+  for (unsigned bit = 0; bit < d; ++bit) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const std::size_t y = x ^ (std::size_t{1} << bit);
+      if (x < y) g.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  // The loop above adds edges for x < y only, which would give node y its
+  // dimension ports out of order; rebuild with both directions considered.
+  // Simpler: since for each bit every node is endpoint of exactly one edge,
+  // and edges are added bit-major, each node gains exactly one port per bit
+  // in bit order.  That is already the case: for bit b, node x gets a port
+  // whether it is the smaller or larger endpoint.
+  return g;
+}
+
+Graph torus(const std::vector<std::size_t>& dims) {
+  QELECT_CHECK(!dims.empty(), "torus requires at least one dimension");
+  std::size_t n = 1;
+  for (std::size_t d : dims) {
+    QELECT_CHECK(d >= 2, "torus sides must be >= 2");
+    n *= d;
+  }
+  auto index_of = [&](const std::vector<std::size_t>& coord) {
+    std::size_t idx = 0;
+    for (std::size_t k = 0; k < dims.size(); ++k) idx = idx * dims[k] + coord[k];
+    return idx;
+  };
+  Graph g(n);
+  std::vector<std::size_t> coord(dims.size(), 0);
+  for (std::size_t x = 0; x < n; ++x) {
+    // Decode x into coordinates (row-major).
+    std::size_t rem = x;
+    for (std::size_t k = dims.size(); k-- > 0;) {
+      coord[k] = rem % dims[k];
+      rem /= dims[k];
+    }
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      auto next = coord;
+      next[k] = (coord[k] + 1) % dims[k];
+      const std::size_t y = index_of(next);
+      // For side 2 the +1 and -1 neighbors coincide; add the edge once.
+      if (dims[k] == 2) {
+        if (coord[k] == 0) g.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+      } else {
+        g.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+      }
+    }
+  }
+  return g;
+}
+
+Graph circulant(std::size_t n, const std::vector<std::size_t>& offsets) {
+  QELECT_CHECK(n >= 3, "circulant requires n >= 3");
+  Graph g(n);
+  for (std::size_t o : offsets) {
+    QELECT_CHECK(o >= 1 && 2 * o <= n, "circulant offset must be in [1, n/2]");
+    for (std::size_t x = 0; x < n; ++x) {
+      const std::size_t y = (x + o) % n;
+      if (2 * o == n && x >= y) continue;  // antipodal offset: one edge each
+      g.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  return g;
+}
+
+Graph cube_connected_cycles(unsigned d) {
+  QELECT_CHECK(d >= 3 && d < 20, "CCC dimension out of range");
+  const std::size_t corners = std::size_t{1} << d;
+  const std::size_t n = corners * d;
+  auto id = [d](std::size_t corner, unsigned pos) {
+    return static_cast<NodeId>(corner * d + pos);
+  };
+  Graph g(n);
+  for (std::size_t c = 0; c < corners; ++c) {
+    for (unsigned i = 0; i < d; ++i) {
+      // Cycle edge (c,i) - (c,(i+1) mod d).
+      g.add_edge(id(c, i), id(c, (i + 1) % d));
+    }
+  }
+  for (std::size_t c = 0; c < corners; ++c) {
+    for (unsigned i = 0; i < d; ++i) {
+      // Hypercube edge (c,i) - (c xor 2^i, i), added once.
+      const std::size_t c2 = c ^ (std::size_t{1} << i);
+      if (c < c2) g.add_edge(id(c, i), id(c2, i));
+    }
+  }
+  return g;
+}
+
+Graph petersen() {
+  Graph g(10);
+  // Outer 5-cycle.
+  for (NodeId i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  // Inner pentagram: i+5 connected to ((i+2) mod 5) + 5.
+  for (NodeId i = 0; i < 5; ++i) g.add_edge(i + 5, ((i + 2) % 5) + 5);
+  // Spokes.
+  for (NodeId i = 0; i < 5; ++i) g.add_edge(i, i + 5);
+  return g;
+}
+
+Graph generalized_petersen(std::size_t n, std::size_t k) {
+  QELECT_CHECK(n >= 3, "generalized_petersen requires n >= 3");
+  QELECT_CHECK(k >= 1 && 2 * k < n,
+               "generalized_petersen requires 1 <= k < n/2");
+  Graph g(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(n + i),
+               static_cast<NodeId>(n + (i + k) % n));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(n + i));
+  }
+  return g;
+}
+
+Graph wrapped_butterfly(unsigned d) {
+  QELECT_CHECK(d >= 3 && d < 16, "wrapped_butterfly requires 3 <= d < 16");
+  const std::size_t rows = std::size_t{1} << d;
+  auto id = [d, rows](unsigned level, std::size_t row) {
+    (void)rows;
+    return static_cast<NodeId>(level * (std::size_t{1} << d) + row);
+  };
+  Graph g(d * rows);
+  for (unsigned level = 0; level < d; ++level) {
+    const unsigned next = (level + 1) % d;
+    for (std::size_t row = 0; row < rows; ++row) {
+      g.add_edge(id(level, row), id(next, row));                     // straight
+      g.add_edge(id(level, row), id(next, row ^ (std::size_t{1} << level)));  // cross
+    }
+  }
+  return g;
+}
+
+Graph random_connected(std::size_t n, double p, std::uint64_t seed) {
+  QELECT_CHECK(n >= 1, "random_connected requires n >= 1");
+  Xoshiro256 rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Graph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(p)) {
+          g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        }
+      }
+    }
+    if (g.is_connected()) return g;
+  }
+  // Fall back: random tree plus the sampled extra edges guarantees
+  // connectivity while staying random-ish.
+  Graph g = random_tree(n, seed ^ 0xabcdef1234567ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) {
+        bool exists = false;
+        for (const HalfEdge& h : g.ports(static_cast<NodeId>(i))) {
+          if (h.to == static_cast<NodeId>(j)) {
+            exists = true;
+            break;
+          }
+        }
+        if (!exists) g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, std::uint64_t seed) {
+  QELECT_CHECK(n >= 1, "random_tree requires n >= 1");
+  Xoshiro256 rng(seed);
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.below(i));
+    g.add_edge(parent, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Fig2cExample figure2c() {
+  // Nodes: x=0, y=1, z=2.
+  Graph g(3);
+  // Ring edges, labeled 1 clockwise / 2 counterclockwise.
+  const EdgeId exy = g.add_edge(0, 1);   // x->y clockwise
+  const EdgeId eyz = g.add_edge(1, 2);   // y->z clockwise
+  const EdgeId ezx = g.add_edge(2, 0);   // z->x clockwise
+  // Mess edges: double edge e1, e2 between x and y, loop f at z.
+  const EdgeId e1 = g.add_edge(0, 1);
+  const EdgeId e2 = g.add_edge(0, 1);
+  const EdgeId f = g.add_edge(2, 2);
+
+  EdgeLabeling l = EdgeLabeling::zeros(g);
+  auto set_edge = [&](EdgeId e, Symbol at_u, Symbol at_v) {
+    const Edge& ed = g.edge(e);
+    l.set(ed.u, ed.u_port, at_u);
+    l.set(ed.v, ed.v_port, at_v);
+  };
+  // Ring: 1 in the clockwise direction, 2 counterclockwise.
+  set_edge(exy, 1, 2);
+  set_edge(eyz, 1, 2);
+  set_edge(ezx, 1, 2);
+  // Mess: l_x(e1) = l_y(e2) = 3, l_x(e2) = l_y(e1) = 4, loop extremities 3, 4.
+  set_edge(e1, 3, 4);
+  set_edge(e2, 4, 3);
+  set_edge(f, 3, 4);
+  QELECT_ASSERT(l.locally_distinct(g));
+  return Fig2cExample{std::move(g), std::move(l)};
+}
+
+Fig2PathExample figure2_path() {
+  Graph g = path(3);  // x=0 - y=1 - z=2; edge 0 = {x,y}, edge 1 = {y,z}
+  EdgeLabeling quantitative = EdgeLabeling::zeros(g);
+  // l_x({x,y}) = 1, l_y({x,y}) = 1, l_y({y,z}) = 2, l_z({y,z}) = 1.
+  {
+    const Edge& exy = g.edge(0);
+    const Edge& eyz = g.edge(1);
+    quantitative.set(exy.u, exy.u_port, 1);
+    quantitative.set(exy.v, exy.v_port, 1);
+    quantitative.set(eyz.u, eyz.u_port, 2);
+    quantitative.set(eyz.v, eyz.v_port, 1);
+  }
+  EdgeLabeling qualitative = EdgeLabeling::zeros(g);
+  // Symbols: * = 10, o = 11, bullet = 12 (opaque ids; their values are
+  // never ordered by the qualitative machinery).
+  {
+    const Edge& exy = g.edge(0);
+    const Edge& eyz = g.edge(1);
+    qualitative.set(exy.u, exy.u_port, 10);  // l_x = *
+    qualitative.set(exy.v, exy.v_port, 11);  // l_y = o
+    qualitative.set(eyz.u, eyz.u_port, 12);  // l_y = bullet
+    qualitative.set(eyz.v, eyz.v_port, 10);  // l_z = *
+  }
+  QELECT_ASSERT(quantitative.locally_distinct(g));
+  QELECT_ASSERT(qualitative.locally_distinct(g));
+  return Fig2PathExample{std::move(g), std::move(quantitative),
+                         std::move(qualitative)};
+}
+
+}  // namespace qelect::graph

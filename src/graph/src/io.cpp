@@ -1,0 +1,74 @@
+#include "qelect/graph/io.hpp"
+
+#include <sstream>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::graph {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << "n " << g.node_count() << "\n";
+  for (const Edge& e : g.edges()) {
+    out << "e " << e.u << " " << e.v << "\n";
+  }
+  return out.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool have_n = false;
+  std::size_t n = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    if (kind == "n") {
+      QELECT_CHECK(!have_n, "from_edge_list: duplicate 'n' line");
+      QELECT_CHECK(static_cast<bool>(ls >> n),
+                   "from_edge_list: malformed 'n' line");
+      have_n = true;
+    } else if (kind == "e") {
+      QELECT_CHECK(have_n, "from_edge_list: 'e' before 'n'");
+      long long u = -1, v = -1;
+      QELECT_CHECK(static_cast<bool>(ls >> u >> v),
+                   "from_edge_list: malformed 'e' line " +
+                       std::to_string(line_no));
+      QELECT_CHECK(u >= 0 && v >= 0 && static_cast<std::size_t>(u) < n &&
+                       static_cast<std::size_t>(v) < n,
+                   "from_edge_list: endpoint out of range on line " +
+                       std::to_string(line_no));
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      QELECT_CHECK(false, "from_edge_list: unknown record '" + kind + "'");
+    }
+  }
+  QELECT_CHECK(have_n, "from_edge_list: missing 'n' line");
+  return Graph::from_edges(n, edges);
+}
+
+std::string to_dot(const Graph& g, const Placement* p) {
+  std::ostringstream out;
+  out << "graph G {\n  node [shape=circle];\n";
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    out << "  " << x;
+    if (p != nullptr && p->is_home_base(x)) {
+      out << " [style=filled, fillcolor=black, fontcolor=white]";
+    }
+    out << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace qelect::graph

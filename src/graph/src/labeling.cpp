@@ -1,0 +1,99 @@
+#include "qelect/graph/labeling.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::graph {
+
+EdgeLabeling EdgeLabeling::from_ports(const Graph& g) {
+  EdgeLabeling l;
+  l.labels_.resize(g.node_count());
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    l.labels_[x].resize(g.degree(x));
+    for (PortId p = 0; p < g.degree(x); ++p) l.labels_[x][p] = p;
+  }
+  return l;
+}
+
+EdgeLabeling EdgeLabeling::zeros(const Graph& g) {
+  EdgeLabeling l;
+  l.labels_.resize(g.node_count());
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    l.labels_[x].assign(g.degree(x), 0);
+  }
+  return l;
+}
+
+Symbol EdgeLabeling::at(NodeId x, PortId p) const {
+  QELECT_CHECK(x < labels_.size() && p < labels_[x].size(),
+               "EdgeLabeling::at out of range");
+  return labels_[x][p];
+}
+
+void EdgeLabeling::set(NodeId x, PortId p, Symbol s) {
+  QELECT_CHECK(x < labels_.size() && p < labels_[x].size(),
+               "EdgeLabeling::set out of range");
+  labels_[x][p] = s;
+}
+
+bool EdgeLabeling::locally_distinct(const Graph& g) const {
+  if (labels_.size() != g.node_count()) return false;
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    if (labels_[x].size() != g.degree(x)) return false;
+    std::set<Symbol> seen(labels_[x].begin(), labels_[x].end());
+    if (seen.size() != labels_[x].size()) return false;
+  }
+  return true;
+}
+
+std::size_t EdgeLabeling::alphabet_size() const {
+  std::set<Symbol> seen;
+  for (const auto& row : labels_) seen.insert(row.begin(), row.end());
+  return seen.size();
+}
+
+namespace {
+
+// Depth-first assignment over the flattened (node, port) slots.
+void enumerate_rec(const Graph& g, std::size_t alphabet, NodeId x, PortId p,
+                   EdgeLabeling& current, std::vector<EdgeLabeling>& out) {
+  if (x == g.node_count()) {
+    out.push_back(current);
+    return;
+  }
+  if (p == g.degree(x)) {
+    enumerate_rec(g, alphabet, x + 1, 0, current, out);
+    return;
+  }
+  for (Symbol s = 0; s < alphabet; ++s) {
+    bool clash = false;
+    for (PortId q = 0; q < p; ++q) {
+      if (current.at(x, q) == s) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    current.set(x, p, s);
+    enumerate_rec(g, alphabet, x, p + 1, current, out);
+  }
+  current.set(x, p, 0);
+}
+
+}  // namespace
+
+std::vector<EdgeLabeling> enumerate_labelings(const Graph& g,
+                                              std::size_t alphabet) {
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    QELECT_CHECK(g.degree(x) <= alphabet,
+                 "enumerate_labelings: alphabet smaller than max degree");
+  }
+  std::vector<EdgeLabeling> out;
+  EdgeLabeling current = EdgeLabeling::zeros(g);
+  enumerate_rec(g, alphabet, 0, 0, current, out);
+  return out;
+}
+
+}  // namespace qelect::graph

@@ -1,0 +1,83 @@
+#include "qelect/graph/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::graph {
+
+Placement::Placement(std::size_t node_count, std::vector<NodeId> home_bases)
+    : black_(node_count, false), home_bases_(std::move(home_bases)) {
+  std::sort(home_bases_.begin(), home_bases_.end());
+  for (NodeId h : home_bases_) {
+    QELECT_CHECK(h < node_count, "Placement: home-base out of range");
+    QELECT_CHECK(!black_[h], "Placement: duplicate home-base");
+    black_[h] = true;
+  }
+}
+
+Placement Placement::empty(std::size_t node_count) {
+  return Placement(node_count, {});
+}
+
+bool Placement::is_home_base(NodeId x) const {
+  QELECT_CHECK(x < black_.size(), "Placement::is_home_base out of range");
+  return black_[x];
+}
+
+std::vector<std::uint32_t> Placement::node_colors() const {
+  std::vector<std::uint32_t> colors(black_.size(), 0);
+  for (NodeId h : home_bases_) colors[h] = 1;
+  return colors;
+}
+
+Placement Placement::relabel(const std::vector<NodeId>& sigma) const {
+  QELECT_CHECK(sigma.size() == black_.size(),
+               "Placement::relabel size mismatch");
+  std::vector<NodeId> mapped;
+  mapped.reserve(home_bases_.size());
+  for (NodeId h : home_bases_) mapped.push_back(sigma[h]);
+  return Placement(black_.size(), std::move(mapped));
+}
+
+std::vector<Placement> enumerate_placements(std::size_t node_count,
+                                            std::size_t agents) {
+  QELECT_CHECK(agents <= node_count,
+               "enumerate_placements: more agents than nodes");
+  std::vector<Placement> out;
+  std::vector<NodeId> combo(agents);
+  std::iota(combo.begin(), combo.end(), 0u);
+  if (agents == 0) {
+    out.push_back(Placement::empty(node_count));
+    return out;
+  }
+  for (;;) {
+    out.emplace_back(node_count, combo);
+    // Advance to the next combination.
+    std::size_t i = agents;
+    while (i > 0 &&
+           combo[i - 1] == static_cast<NodeId>(node_count - agents + i - 1)) {
+      --i;
+    }
+    if (i == 0) break;
+    ++combo[i - 1];
+    for (std::size_t j = i; j < agents; ++j) combo[j] = combo[j - 1] + 1;
+  }
+  return out;
+}
+
+Placement random_placement(std::size_t node_count, std::size_t agents,
+                           std::uint64_t seed) {
+  QELECT_CHECK(agents <= node_count,
+               "random_placement: more agents than nodes");
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> all(node_count);
+  std::iota(all.begin(), all.end(), 0u);
+  rng.shuffle(all);
+  all.resize(agents);
+  return Placement(node_count, std::move(all));
+}
+
+}  // namespace qelect::graph

@@ -1,0 +1,67 @@
+// Construction of Cayley graphs Cay(Gamma, S) as port graphs.
+//
+// Definition 1.2: nodes are the elements of Gamma and {a, b} is an edge iff
+// b^{-1} a is in S; equivalently the neighbors of a are { a*s : s in S }.
+// The construction pins *port i of every node* to generator s_i, so the
+// port numbering realizes the natural Cayley edge-labeling
+// l_x({x, x*s}) = s used in the proof of Theorem 4.1 (where it is the
+// labeling whose ~lab classes have size gcd(|C_1|..|C_k|)).
+#pragma once
+
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/labeling.hpp"
+#include "qelect/group/group.hpp"
+
+namespace qelect::group {
+
+/// A Cayley graph together with its group-theoretic pedigree.
+struct CayleyGraph {
+  Group gamma;
+  GeneratingSet gens;
+  graph::Graph graph;  // node id == element id; port i realizes s_i
+
+  /// The natural labeling: symbol at (x, port i) is i (i.e. generator s_i).
+  graph::EdgeLabeling natural_labeling() const;
+
+  /// The translation by gamma-element g: node x maps to g * x.  Translations
+  /// act on the left and therefore preserve the natural labeling (the proof
+  /// of Theorem 4.1 relies on exactly this).
+  std::vector<graph::NodeId> translation(Elem g) const;
+
+  /// All |Gamma| translations as node permutations.
+  std::vector<std::vector<graph::NodeId>> all_translations() const;
+};
+
+/// Builds Cay(gamma, gens).  The result is always a simple, connected,
+/// |S|-regular, vertex-transitive graph.
+CayleyGraph make_cayley_graph(const Group& gamma, const GeneratingSet& gens);
+
+/// Convenience constructors for the families named in the paper.
+CayleyGraph cayley_ring(std::size_t n);                        // Cay(Z_n, {+-1})
+CayleyGraph cayley_hypercube(unsigned d);                      // Cay(Z_2^d, unit vectors)
+CayleyGraph cayley_complete(std::size_t n);                    // Cay(Z_n, Z_n \ {0})
+CayleyGraph cayley_circulant(std::size_t n,
+                             const std::vector<Elem>& offsets);  // Cay(Z_n, +-offsets)
+CayleyGraph cayley_torus(std::size_t rows, std::size_t cols);  // Cay(Z_r x Z_c, unit steps)
+CayleyGraph cayley_dihedral(std::size_t n);                    // Cay(D_n, {r, r^-1, f})
+
+/// The star graph ST_k = Cay(S_k, { (0 i) : 1 <= i < k }) -- one of the
+/// paper's named interconnection families (k <= 6 keeps sizes sane).
+CayleyGraph cayley_star_graph(unsigned k);
+
+/// Cay(Q_8, {i, -i, j, -j}): a non-abelian, non-dihedral example.
+CayleyGraph cayley_quaternion();
+
+/// Sabidussi quotient: the simple graph on the left cosets a*H of
+/// `subgroup` H in gamma, with an edge {A, B} (A != B) iff some a in A and
+/// sigma in `connectors` satisfy a * sigma in B.  With gamma = Aut(G),
+/// H = stab(u0) and connectors = { phi : phi(u0) ~ u0 }, this reconstructs
+/// G from its automorphism group -- the paper's Section 4 discussion of
+/// why vertex-transitive graphs are quotients of Cayley graphs.
+graph::Graph coset_quotient(const Group& gamma,
+                            const std::vector<Elem>& subgroup,
+                            const std::vector<Elem>& connectors);
+
+}  // namespace qelect::group

@@ -1,0 +1,180 @@
+#include "qelect/group/cayley_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::group {
+
+using graph::Edge;
+using graph::EdgeLabeling;
+using graph::Graph;
+using graph::NodeId;
+using graph::PortId;
+
+graph::EdgeLabeling CayleyGraph::natural_labeling() const {
+  EdgeLabeling l = EdgeLabeling::zeros(graph);
+  for (NodeId x = 0; x < graph.node_count(); ++x) {
+    for (PortId p = 0; p < graph.degree(x); ++p) {
+      l.set(x, p, static_cast<graph::Symbol>(p));
+    }
+  }
+  return l;
+}
+
+std::vector<graph::NodeId> CayleyGraph::translation(Elem g) const {
+  std::vector<NodeId> phi(gamma.size());
+  for (Elem x = 0; x < gamma.size(); ++x) {
+    phi[x] = static_cast<NodeId>(gamma.op(g, x));
+  }
+  return phi;
+}
+
+std::vector<std::vector<graph::NodeId>> CayleyGraph::all_translations() const {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(gamma.size());
+  for (Elem g = 0; g < gamma.size(); ++g) out.push_back(translation(g));
+  return out;
+}
+
+CayleyGraph make_cayley_graph(const Group& gamma, const GeneratingSet& gens) {
+  const std::size_t n = gamma.size();
+  const std::size_t d = gens.size();
+  QELECT_CHECK(n >= 2, "Cayley graph needs a group of order >= 2");
+
+  std::vector<Edge> edges;
+  edges.reserve(n * d / 2);
+  for (Elem a = 0; a < n; ++a) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const Elem b = gamma.op(a, gens.elements()[i]);
+      QELECT_ASSERT(b != a);  // generators exclude the identity
+      const std::size_t j = gens.inverse_index(i);
+      // Each undirected edge {a, a*s_i} also appears from the b side via
+      // s_i^{-1}; keep exactly the copy where a is the smaller endpoint.
+      // For involutions (i == j) both sides use the same generator index
+      // and the same rule applies.
+      if (a < b) {
+        edges.push_back(Edge{static_cast<NodeId>(a), static_cast<PortId>(i),
+                             static_cast<NodeId>(b), static_cast<PortId>(j)});
+      }
+    }
+  }
+  Graph g = Graph::from_explicit_edges(n, edges);
+  QELECT_ASSERT(g.is_regular());
+  QELECT_ASSERT(g.is_connected());
+  return CayleyGraph{gamma, gens, std::move(g)};
+}
+
+CayleyGraph cayley_ring(std::size_t n) {
+  QELECT_CHECK(n >= 3, "cayley_ring requires n >= 3");
+  const Group z = Group::cyclic(n);
+  return make_cayley_graph(z, GeneratingSet::symmetrized(z, {1}));
+}
+
+CayleyGraph cayley_hypercube(unsigned d) {
+  const Group g = Group::boolean_cube(d);
+  std::vector<Elem> units;
+  // In the iterated product Z_2 x ... x Z_2, the unit vector for coordinate
+  // i has id 2^(d-1-i); any single-bit id works as a generator.
+  for (unsigned i = 0; i < d; ++i) {
+    units.push_back(static_cast<Elem>(std::size_t{1} << i));
+  }
+  return make_cayley_graph(g, GeneratingSet(g, std::move(units)));
+}
+
+CayleyGraph cayley_complete(std::size_t n) {
+  QELECT_CHECK(n >= 2, "cayley_complete requires n >= 2");
+  const Group z = Group::cyclic(n);
+  std::vector<Elem> all;
+  for (Elem s = 1; s < n; ++s) all.push_back(s);
+  return make_cayley_graph(z, GeneratingSet(z, std::move(all)));
+}
+
+CayleyGraph cayley_circulant(std::size_t n, const std::vector<Elem>& offsets) {
+  const Group z = Group::cyclic(n);
+  return make_cayley_graph(z, GeneratingSet::symmetrized(z, offsets));
+}
+
+CayleyGraph cayley_torus(std::size_t rows, std::size_t cols) {
+  QELECT_CHECK(rows >= 3 && cols >= 3,
+               "cayley_torus requires both sides >= 3");
+  const Group zr = Group::cyclic(rows);
+  const Group zc = Group::cyclic(cols);
+  const Group g = Group::direct_product(zr, zc);
+  // (1, 0) has id cols; (0, 1) has id 1.
+  return make_cayley_graph(
+      g, GeneratingSet::symmetrized(g, {static_cast<Elem>(cols), 1}));
+}
+
+CayleyGraph cayley_dihedral(std::size_t n) {
+  QELECT_CHECK(n >= 3, "cayley_dihedral requires n >= 3");
+  const Group d = Group::dihedral(n);
+  // r = element 2 (rotation by 1), f = element 1 (reflection).
+  return make_cayley_graph(d, GeneratingSet::symmetrized(d, {2, 1}));
+}
+
+CayleyGraph cayley_star_graph(unsigned k) {
+  QELECT_CHECK(k >= 3 && k <= 6, "cayley_star_graph supports k in [3, 6]");
+  const Group s = Group::symmetric(k);
+  std::vector<Elem> gens;
+  for (unsigned i = 1; i < k; ++i) {
+    std::vector<std::uint8_t> perm(k);
+    for (unsigned j = 0; j < k; ++j) perm[j] = static_cast<std::uint8_t>(j);
+    std::swap(perm[0], perm[i]);  // the transposition (0 i)
+    gens.push_back(symmetric_rank(k, perm));
+  }
+  // Transpositions are involutions, so the set is already symmetric.
+  return make_cayley_graph(s, GeneratingSet(s, std::move(gens)));
+}
+
+CayleyGraph cayley_quaternion() {
+  const Group q = Group::quaternion();
+  // ids: 2 = i, 3 = -i, 4 = j, 5 = -j.
+  return make_cayley_graph(q, GeneratingSet(q, {2, 3, 4, 5}));
+}
+
+graph::Graph coset_quotient(const Group& gamma,
+                            const std::vector<Elem>& subgroup,
+                            const std::vector<Elem>& connectors) {
+  const std::size_t n = gamma.size();
+  // Validate H is a subgroup (closure under op and inverse, identity in).
+  std::set<Elem> h(subgroup.begin(), subgroup.end());
+  QELECT_CHECK(h.count(gamma.identity()) == 1,
+               "coset_quotient: subgroup must contain the identity");
+  for (Elem a : h) {
+    QELECT_CHECK(h.count(gamma.inverse(a)) == 1,
+                 "coset_quotient: subgroup not closed under inverse");
+    for (Elem b : h) {
+      QELECT_CHECK(h.count(gamma.op(a, b)) == 1,
+                   "coset_quotient: subgroup not closed under op");
+    }
+  }
+  // Left cosets a * H.
+  std::vector<int> coset_of(n, -1);
+  std::size_t coset_count = 0;
+  for (Elem a = 0; a < n; ++a) {
+    if (coset_of[a] >= 0) continue;
+    for (Elem x : h) {
+      coset_of[gamma.op(a, x)] = static_cast<int>(coset_count);
+    }
+    ++coset_count;
+  }
+  // Edges between distinct cosets connected by a connector.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (Elem a = 0; a < n; ++a) {
+    for (Elem sigma : connectors) {
+      const int ca = coset_of[a];
+      const int cb = coset_of[gamma.op(a, sigma)];
+      if (ca == cb) continue;
+      const graph::NodeId u = static_cast<graph::NodeId>(std::min(ca, cb));
+      const graph::NodeId v = static_cast<graph::NodeId>(std::max(ca, cb));
+      edges.insert({u, v});
+    }
+  }
+  graph::Graph out(coset_count);
+  for (const auto& [u, v] : edges) out.add_edge(u, v);
+  return out;
+}
+
+}  // namespace qelect::group

@@ -1,0 +1,425 @@
+#include "qelect/group/group.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::group {
+
+namespace {
+
+class CyclicImpl final : public GroupImpl {
+ public:
+  explicit CyclicImpl(std::size_t n) : n_(n) {}
+  std::size_t size() const override { return n_; }
+  Elem op(Elem a, Elem b) const override {
+    return static_cast<Elem>((static_cast<std::size_t>(a) + b) % n_);
+  }
+  Elem inverse(Elem a) const override {
+    return a == 0 ? 0 : static_cast<Elem>(n_ - a);
+  }
+  std::string name() const override { return "Z" + std::to_string(n_); }
+
+ private:
+  std::size_t n_;
+};
+
+// Dihedral group D_n: elements are (rotation k, flip bit f) encoded as
+// 2k + f.  Composition uses r^a f^e * r^b f^g = r^{a + b * (-1)^e} f^{e^g}.
+class DihedralImpl final : public GroupImpl {
+ public:
+  explicit DihedralImpl(std::size_t n) : n_(n) {}
+  std::size_t size() const override { return 2 * n_; }
+  Elem op(Elem a, Elem b) const override {
+    const std::size_t ka = a / 2, fa = a % 2;
+    const std::size_t kb = b / 2, fb = b % 2;
+    std::size_t k;
+    if (fa == 0) {
+      k = (ka + kb) % n_;
+    } else {
+      k = (ka + n_ - kb % n_) % n_;
+    }
+    const std::size_t f = fa ^ fb;
+    return static_cast<Elem>(2 * k + f);
+  }
+  Elem inverse(Elem a) const override {
+    const std::size_t ka = a / 2, fa = a % 2;
+    if (fa == 1) return a;  // reflections are involutions
+    return static_cast<Elem>(2 * ((n_ - ka) % n_));
+  }
+  std::string name() const override { return "D" + std::to_string(n_); }
+
+ private:
+  std::size_t n_;
+};
+
+// S_k with elements ranked by Lehmer code (factorial number system).
+class SymmetricImpl final : public GroupImpl {
+ public:
+  explicit SymmetricImpl(unsigned k) : k_(k) {
+    fact_[0] = 1;
+    for (unsigned i = 1; i <= k; ++i) fact_[i] = fact_[i - 1] * i;
+  }
+
+  std::size_t size() const override { return fact_[k_]; }
+
+  Elem op(Elem a, Elem b) const override {
+    // Composition as functions: (a*b)(i) = a(b(i)).
+    const auto pa = unrank(a);
+    const auto pb = unrank(b);
+    std::array<std::uint8_t, 8> pc{};
+    for (unsigned i = 0; i < k_; ++i) pc[i] = pa[pb[i]];
+    return rank(pc);
+  }
+
+  Elem inverse(Elem a) const override {
+    const auto pa = unrank(a);
+    std::array<std::uint8_t, 8> inv{};
+    for (unsigned i = 0; i < k_; ++i) inv[pa[i]] = static_cast<std::uint8_t>(i);
+    return rank(inv);
+  }
+
+  std::string name() const override { return "S" + std::to_string(k_); }
+
+ private:
+  std::array<std::uint8_t, 8> unrank(Elem r) const {
+    std::array<std::uint8_t, 8> perm{};
+    std::array<std::uint8_t, 8> pool{};
+    for (unsigned i = 0; i < k_; ++i) pool[i] = static_cast<std::uint8_t>(i);
+    std::size_t rem = r;
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::size_t f = fact_[k_ - 1 - i];
+      const std::size_t idx = rem / f;
+      rem %= f;
+      perm[i] = pool[idx];
+      for (std::size_t j = idx; j + 1 < k_ - i; ++j) pool[j] = pool[j + 1];
+    }
+    return perm;
+  }
+
+  Elem rank(const std::array<std::uint8_t, 8>& perm) const {
+    std::size_t r = 0;
+    for (unsigned i = 0; i < k_; ++i) {
+      std::size_t smaller = 0;
+      for (unsigned j = i + 1; j < k_; ++j) {
+        if (perm[j] < perm[i]) ++smaller;
+      }
+      r += smaller * fact_[k_ - 1 - i];
+    }
+    return static_cast<Elem>(r);
+  }
+
+  unsigned k_;
+  std::array<std::size_t, 9> fact_{};
+};
+
+class ProductImpl final : public GroupImpl {
+ public:
+  ProductImpl(std::shared_ptr<const GroupImpl> a,
+              std::shared_ptr<const GroupImpl> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  std::size_t size() const override { return a_->size() * b_->size(); }
+  Elem op(Elem x, Elem y) const override {
+    const std::size_t nb = b_->size();
+    const Elem xa = static_cast<Elem>(x / nb), xb = static_cast<Elem>(x % nb);
+    const Elem ya = static_cast<Elem>(y / nb), yb = static_cast<Elem>(y % nb);
+    return static_cast<Elem>(a_->op(xa, ya) * nb + b_->op(xb, yb));
+  }
+  Elem inverse(Elem x) const override {
+    const std::size_t nb = b_->size();
+    const Elem xa = static_cast<Elem>(x / nb), xb = static_cast<Elem>(x % nb);
+    return static_cast<Elem>(a_->inverse(xa) * nb + b_->inverse(xb));
+  }
+  std::string name() const override {
+    return a_->name() + "x" + b_->name();
+  }
+
+ private:
+  std::shared_ptr<const GroupImpl> a_;
+  std::shared_ptr<const GroupImpl> b_;
+};
+
+class TableImpl final : public GroupImpl {
+ public:
+  TableImpl(std::vector<std::vector<Elem>> table, std::string name)
+      : table_(std::move(table)), name_(std::move(name)) {
+    const std::size_t n = table_.size();
+    QELECT_CHECK(n > 0, "group table must be non-empty");
+    inverse_.assign(n, 0);
+    for (std::size_t a = 0; a < n; ++a) {
+      QELECT_CHECK(table_[a].size() == n, "group table must be square");
+      QELECT_CHECK(table_[0][a] == a && table_[a][0] == a,
+                   "element 0 must be the identity");
+      bool found = false;
+      for (std::size_t b = 0; b < n; ++b) {
+        QELECT_CHECK(table_[a][b] < n, "group table entry out of range");
+        if (table_[a][b] == 0) {
+          QELECT_CHECK(table_[b][a] == 0, "inverses must be two-sided");
+          inverse_[a] = static_cast<Elem>(b);
+          found = true;
+        }
+      }
+      QELECT_CHECK(found, "every element needs an inverse");
+    }
+    // Associativity check is cubic; acceptable for the table sizes this
+    // constructor is meant for (explicitly user-provided small groups).
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t c = 0; c < n; ++c) {
+          QELECT_CHECK(table_[table_[a][b]][c] == table_[a][table_[b][c]],
+                       "group table is not associative");
+        }
+      }
+    }
+  }
+
+  std::size_t size() const override { return table_.size(); }
+  Elem op(Elem a, Elem b) const override { return table_[a][b]; }
+  Elem inverse(Elem a) const override { return inverse_[a]; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::vector<std::vector<Elem>> table_;
+  std::vector<Elem> inverse_;
+  std::string name_;
+};
+
+}  // namespace
+
+Group::Group(std::shared_ptr<const GroupImpl> impl)
+    : impl_(std::move(impl)), name_(impl_->name()) {}
+
+Group Group::cyclic(std::size_t n) {
+  QELECT_CHECK(n >= 1, "cyclic group order must be >= 1");
+  return Group(std::make_shared<CyclicImpl>(n));
+}
+
+Group Group::dihedral(std::size_t n) {
+  QELECT_CHECK(n >= 1, "dihedral parameter must be >= 1");
+  return Group(std::make_shared<DihedralImpl>(n));
+}
+
+Group Group::symmetric(unsigned k) {
+  QELECT_CHECK(k >= 1 && k <= 8, "symmetric group supported for k in [1,8]");
+  return Group(std::make_shared<SymmetricImpl>(k));
+}
+
+Group Group::direct_product(const Group& a, const Group& b) {
+  return Group(std::make_shared<ProductImpl>(a.impl_, b.impl_));
+}
+
+Group Group::boolean_cube(unsigned d) {
+  QELECT_CHECK(d >= 1, "boolean cube dimension must be >= 1");
+  Group g = Group::cyclic(2);
+  for (unsigned i = 1; i < d; ++i) g = direct_product(g, Group::cyclic(2));
+  return g;
+}
+
+Group Group::quaternion() {
+  // Multiplication table of Q_8 with ids 0..7 = 1, -1, i, -i, j, -j, k, -k.
+  // Encoded via (sign, axis): id = 2 * axis + sign, axis in {1=identity-axis
+  // ... } -- simpler to spell the 8x8 table from the quaternion relations
+  // i^2 = j^2 = k^2 = ijk = -1.
+  auto mul = [](Elem a, Elem b) -> Elem {
+    // Represent as (axis, sign): axis 0 = scalar 1, 1 = i, 2 = j, 3 = k.
+    const int axis_a = a / 2, sign_a = (a % 2) ? -1 : 1;
+    const int axis_b = b / 2, sign_b = (b % 2) ? -1 : 1;
+    static const int axis_table[4][4] = {
+        {0, 1, 2, 3}, {1, 0, 3, 2}, {2, 3, 0, 1}, {3, 2, 1, 0}};
+    // Sign from the quaternion rules: i*j = k, j*k = i, k*i = j; squares of
+    // imaginary units are -1; reverse products negate.
+    static const int sign_table[4][4] = {
+        {+1, +1, +1, +1},
+        {+1, -1, +1, -1},
+        {+1, -1, -1, +1},
+        {+1, +1, -1, -1}};
+    const int axis = axis_table[axis_a][axis_b];
+    const int sign = sign_a * sign_b * sign_table[axis_a][axis_b];
+    return static_cast<Elem>(2 * axis + (sign < 0 ? 1 : 0));
+  };
+  std::vector<std::vector<Elem>> table(8, std::vector<Elem>(8));
+  for (Elem a = 0; a < 8; ++a) {
+    for (Elem b = 0; b < 8; ++b) table[a][b] = mul(a, b);
+  }
+  return Group(std::make_shared<TableImpl>(std::move(table), "Q8"));
+}
+
+Group Group::from_table(std::vector<std::vector<Elem>> table,
+                        std::string name) {
+  return Group(std::make_shared<TableImpl>(std::move(table), std::move(name)));
+}
+
+namespace {
+
+std::array<std::size_t, 9> factorials() {
+  std::array<std::size_t, 9> f{};
+  f[0] = 1;
+  for (unsigned i = 1; i <= 8; ++i) f[i] = f[i - 1] * i;
+  return f;
+}
+
+}  // namespace
+
+Elem symmetric_rank(unsigned k, const std::vector<std::uint8_t>& perm) {
+  QELECT_CHECK(k >= 1 && k <= 8 && perm.size() == k,
+               "symmetric_rank: bad arity");
+  const auto fact = factorials();
+  std::size_t r = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    std::size_t smaller = 0;
+    for (unsigned j = i + 1; j < k; ++j) {
+      if (perm[j] < perm[i]) ++smaller;
+    }
+    r += smaller * fact[k - 1 - i];
+  }
+  return static_cast<Elem>(r);
+}
+
+std::vector<std::uint8_t> symmetric_unrank(unsigned k, Elem rank) {
+  QELECT_CHECK(k >= 1 && k <= 8, "symmetric_unrank: bad arity");
+  const auto fact = factorials();
+  QELECT_CHECK(rank < fact[k], "symmetric_unrank: rank out of range");
+  std::vector<std::uint8_t> pool(k);
+  for (unsigned i = 0; i < k; ++i) pool[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> perm(k);
+  std::size_t rem = rank;
+  for (unsigned i = 0; i < k; ++i) {
+    const std::size_t f = fact[k - 1 - i];
+    const std::size_t idx = rem / f;
+    rem %= f;
+    perm[i] = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return perm;
+}
+
+PermutationGroup group_from_permutations(
+    std::vector<std::vector<std::uint32_t>> perms) {
+  QELECT_CHECK(!perms.empty(), "group_from_permutations: empty set");
+  const std::size_t degree = perms.front().size();
+  // Move the identity to position 0.
+  std::vector<std::uint32_t> identity(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    identity[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto it = std::find(perms.begin(), perms.end(), identity);
+  QELECT_CHECK(it != perms.end(),
+               "group_from_permutations: identity missing");
+  std::iter_swap(perms.begin(), it);
+  // Index permutations and build the composition table.
+  std::map<std::vector<std::uint32_t>, Elem> index;
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    QELECT_CHECK(perms[i].size() == degree,
+                 "group_from_permutations: degree mismatch");
+    QELECT_CHECK(index.emplace(perms[i], static_cast<Elem>(i)).second,
+                 "group_from_permutations: duplicate permutation");
+  }
+  const std::size_t n = perms.size();
+  std::vector<std::vector<Elem>> table(n, std::vector<Elem>(n));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      std::vector<std::uint32_t> prod(degree);
+      for (std::size_t x = 0; x < degree; ++x) {
+        prod[x] = perms[a][perms[b][x]];
+      }
+      const auto found = index.find(prod);
+      QELECT_CHECK(found != index.end(),
+                   "group_from_permutations: set not closed");
+      table[a][b] = found->second;
+    }
+  }
+  return PermutationGroup{Group::from_table(std::move(table), "perm"),
+                          std::move(perms)};
+}
+
+Elem Group::op(Elem a, Elem b) const {
+  QELECT_CHECK(a < size() && b < size(), "group op: element out of range");
+  return impl_->op(a, b);
+}
+
+Elem Group::inverse(Elem a) const {
+  QELECT_CHECK(a < size(), "group inverse: element out of range");
+  return impl_->inverse(a);
+}
+
+std::size_t Group::order_of(Elem a) const {
+  QELECT_CHECK(a < size(), "order_of: element out of range");
+  std::size_t k = 1;
+  Elem x = a;
+  while (x != identity()) {
+    x = op(x, a);
+    ++k;
+    QELECT_ASSERT(k <= size());
+  }
+  return k;
+}
+
+bool Group::is_abelian() const {
+  const std::size_t n = size();
+  for (Elem a = 0; a < n; ++a) {
+    for (Elem b = static_cast<Elem>(a + 1); b < n; ++b) {
+      if (op(a, b) != op(b, a)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Elem> Group::generated_subgroup(
+    const std::vector<Elem>& gens) const {
+  std::set<Elem> closure{identity()};
+  std::deque<Elem> frontier{identity()};
+  while (!frontier.empty()) {
+    const Elem x = frontier.front();
+    frontier.pop_front();
+    for (Elem s : gens) {
+      QELECT_CHECK(s < size(), "generated_subgroup: element out of range");
+      for (Elem y : {op(x, s), op(x, inverse(s))}) {
+        if (closure.insert(y).second) frontier.push_back(y);
+      }
+    }
+  }
+  return {closure.begin(), closure.end()};
+}
+
+bool Group::generates(const std::vector<Elem>& gens) const {
+  return generated_subgroup(gens).size() == size();
+}
+
+GeneratingSet::GeneratingSet(const Group& g, std::vector<Elem> generators)
+    : gens_(std::move(generators)) {
+  QELECT_CHECK(!gens_.empty(), "generating set must be non-empty");
+  std::set<Elem> seen;
+  for (Elem s : gens_) {
+    QELECT_CHECK(s < g.size(), "generator out of range");
+    QELECT_CHECK(s != g.identity(), "identity cannot be a generator");
+    QELECT_CHECK(seen.insert(s).second, "duplicate generator");
+  }
+  inverse_index_.resize(gens_.size());
+  for (std::size_t i = 0; i < gens_.size(); ++i) {
+    const Elem inv = g.inverse(gens_[i]);
+    const auto it = std::find(gens_.begin(), gens_.end(), inv);
+    QELECT_CHECK(it != gens_.end(),
+                 "generating set must be closed under inverse (S = S^-1)");
+    inverse_index_[i] = static_cast<std::size_t>(it - gens_.begin());
+  }
+  QELECT_CHECK(g.generates(gens_), "set does not generate the group");
+}
+
+GeneratingSet GeneratingSet::symmetrized(const Group& g,
+                                         std::vector<Elem> seed) {
+  std::vector<Elem> full = seed;
+  for (Elem s : seed) {
+    const Elem inv = g.inverse(s);
+    if (std::find(full.begin(), full.end(), inv) == full.end()) {
+      full.push_back(inv);
+    }
+  }
+  return GeneratingSet(g, std::move(full));
+}
+
+}  // namespace qelect::group

@@ -1,0 +1,47 @@
+// Explicit enumeration of automorphism groups.
+//
+// The Cayley-recognition step (Section 4: "the agents test whether G is a
+// Cayley graph -- it is time-consuming, but decidable") needs the full
+// automorphism group of the map, and the theory tests cross-check orbit
+// computations against it.  Enumeration is exponential in the worst case;
+// the paper explicitly accepts that cost and so do we -- callers pass a
+// limit to bound it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qelect/iso/colored_digraph.hpp"
+
+namespace qelect::iso {
+
+/// All color- and label-preserving automorphisms of `g` (as permutations,
+/// sigma[x] = image of x), in lexicographic order of the permutation word.
+/// Stops and returns nullopt if more than `limit` automorphisms exist.
+std::optional<std::vector<std::vector<NodeId>>> all_automorphisms(
+    const ColoredDigraph& g, std::size_t limit = 1u << 20);
+
+/// |Aut(g)|, or nullopt if it exceeds `limit`.
+std::optional<std::size_t> automorphism_count(const ColoredDigraph& g,
+                                              std::size_t limit = 1u << 20);
+
+/// Orbits of the automorphism group (the paper's equivalence classes ~ of
+/// Definition 2.1 when `g` encodes a bi-colored graph).  Computed from the
+/// full group; exact.  Classes are ordered by their smallest node id.
+std::vector<std::vector<NodeId>> automorphism_orbits(const ColoredDigraph& g);
+
+/// True iff the group acts transitively on the nodes (vertex-transitivity).
+bool is_vertex_transitive(const ColoredDigraph& g);
+
+/// Composition: (a . b)[x] = a[b[x]].
+std::vector<NodeId> compose(const std::vector<NodeId>& a,
+                            const std::vector<NodeId>& b);
+
+/// Inverse permutation.
+std::vector<NodeId> invert(const std::vector<NodeId>& a);
+
+/// Identity permutation on n points.
+std::vector<NodeId> identity_permutation(std::size_t n);
+
+}  // namespace qelect::iso

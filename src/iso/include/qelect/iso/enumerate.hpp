@@ -1,0 +1,21 @@
+// Exhaustive enumeration of small graphs up to isomorphism.
+//
+// The election-landscape experiments classify *every* instance at small
+// scale: all connected simple graphs on n <= 6 nodes (OEIS A001349 counts
+// 1, 1, 2, 6, 21, 112), crossed with all agent placements.  Enumeration is
+// brute force over edge subsets with canonical-certificate deduplication --
+// exactly the engine the protocol itself relies on, so the enumeration
+// doubles as a large-scale consistency exercise for the canonizer.
+#pragma once
+
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+
+namespace qelect::iso {
+
+/// Every connected simple graph on exactly n nodes, up to isomorphism
+/// (n <= 6; the subset count is 2^(n(n-1)/2) = 32768 at n = 6).
+std::vector<graph::Graph> all_connected_graphs(std::size_t n);
+
+}  // namespace qelect::iso

@@ -1,0 +1,37 @@
+// Node equivalence classes and the agreed total order on them.
+//
+// Definition 2.1's relation (x ~ y iff a color-preserving automorphism maps
+// x to y) partitions the nodes into the classes C_1, ..., C_k that drive
+// protocol ELECT.  We compute the partition by *individualized
+// certificates*: mark x with a unique color and canonicalize; x ~ y iff the
+// marked digraphs are isomorphic.  The marked certificate doubles as the
+// class's identity across agents (each agent holds an isomorphic map, so
+// each computes the same certificate for the same class), and lexicographic
+// certificate order realizes Lemma 3.1's total order `prec` on classes.
+#pragma once
+
+#include <vector>
+
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+
+namespace qelect::iso {
+
+/// The ordered equivalence-class decomposition of a colored digraph.
+struct OrderedClasses {
+  /// classes[i] lists the member nodes (ascending); classes are sorted by
+  /// their certificate, which is the order `prec` of Lemma 3.1.
+  std::vector<std::vector<NodeId>> classes;
+  /// certificates[i] identifies classes[i] independently of node numbering.
+  std::vector<Certificate> certificates;
+  /// class_of[x] = index of x's class in `classes`.
+  std::vector<std::size_t> class_of;
+};
+
+/// Computes the ~-classes of `g` with the canonical `prec` order.
+OrderedClasses equivalence_classes(const ColoredDigraph& g);
+
+/// The sizes |C_1|, ..., |C_k| in prec order.
+std::vector<std::uint64_t> class_sizes(const OrderedClasses& classes);
+
+}  // namespace qelect::iso

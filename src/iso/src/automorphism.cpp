@@ -1,0 +1,167 @@
+#include "qelect/iso/automorphism.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "qelect/iso/equivalence.hpp"
+#include "qelect/iso/refinement.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+namespace {
+
+// Sorted multiset of arc labels from u to v; the invariant a mapping must
+// preserve pairwise.
+using PairKey = std::pair<NodeId, NodeId>;
+
+std::map<PairKey, std::vector<std::uint64_t>> arc_label_index(
+    const ColoredDigraph& g) {
+  std::map<PairKey, std::vector<std::uint64_t>> index;
+  for (const Arc& a : g.arcs()) {
+    index[{a.from, a.to}].push_back(a.label);
+  }
+  for (auto& [key, labels] : index) std::sort(labels.begin(), labels.end());
+  return index;
+}
+
+class Enumerator {
+ public:
+  Enumerator(const ColoredDigraph& g, std::size_t limit)
+      : g_(g), limit_(limit), index_(arc_label_index(g)),
+        refined_(refine(g)) {}
+
+  // Returns false on limit overflow.
+  bool run(std::vector<std::vector<NodeId>>& out) {
+    const std::size_t n = g_.node_count();
+    sigma_.assign(n, 0);
+    used_.assign(n, false);
+    out_ = &out;
+    return extend(0);
+  }
+
+ private:
+  bool extend(NodeId x) {
+    const std::size_t n = g_.node_count();
+    if (x == n) {
+      if (out_->size() >= limit_) return false;
+      out_->push_back(sigma_);
+      return true;
+    }
+    for (NodeId y = 0; y < n; ++y) {
+      if (used_[y]) continue;
+      if (refined_[y] != refined_[x]) continue;
+      if (!consistent(x, y)) continue;
+      sigma_[x] = y;
+      used_[y] = true;
+      const bool ok = extend(x + 1);
+      used_[y] = false;
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // Arc structure between x and every already-mapped node (including x
+  // itself, for loops) must match between y and the images.
+  bool consistent(NodeId x, NodeId y) const {
+    for (NodeId u = 0; u < x; ++u) {
+      if (labels(x, u) != labels(y, sigma_[u])) return false;
+      if (labels(u, x) != labels(sigma_[u], y)) return false;
+    }
+    return labels(x, x) == labels(y, y);
+  }
+
+  const std::vector<std::uint64_t>& labels(NodeId u, NodeId v) const {
+    static const std::vector<std::uint64_t> kEmpty;
+    const auto it = index_.find({u, v});
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+  const ColoredDigraph& g_;
+  std::size_t limit_;
+  std::map<PairKey, std::vector<std::uint64_t>> index_;
+  Coloring refined_;
+  std::vector<NodeId> sigma_;
+  std::vector<bool> used_;
+  std::vector<std::vector<NodeId>>* out_ = nullptr;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::vector<NodeId>>> all_automorphisms(
+    const ColoredDigraph& g, std::size_t limit) {
+  std::vector<std::vector<NodeId>> out;
+  Enumerator e(g, limit);
+  if (!e.run(out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::size_t> automorphism_count(const ColoredDigraph& g,
+                                              std::size_t limit) {
+  const auto autos = all_automorphisms(g, limit);
+  if (!autos) return std::nullopt;
+  return autos->size();
+}
+
+std::vector<std::vector<NodeId>> automorphism_orbits(
+    const ColoredDigraph& g) {
+  const auto autos = all_automorphisms(g);
+  QELECT_CHECK(autos.has_value(),
+               "automorphism_orbits: group larger than enumeration limit");
+  const std::size_t n = g.node_count();
+  // Union-find over the images.
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& sigma : *autos) {
+    for (NodeId x = 0; x < n; ++x) {
+      const NodeId a = find(x), b = find(sigma[x]);
+      if (a != b) parent[a] = b;
+    }
+  }
+  std::map<NodeId, std::vector<NodeId>> grouped;
+  for (NodeId x = 0; x < n; ++x) grouped[find(x)].push_back(x);
+  std::vector<std::vector<NodeId>> orbits;
+  orbits.reserve(grouped.size());
+  for (auto& [root, members] : grouped) orbits.push_back(std::move(members));
+  std::sort(orbits.begin(), orbits.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return orbits;
+}
+
+bool is_vertex_transitive(const ColoredDigraph& g) {
+  if (g.node_count() <= 1) return true;
+  // Certificate-based orbits: far cheaper than enumerating Aut(G) on
+  // highly symmetric graphs (the groups can be huge; the search tree with
+  // automorphism pruning is not).
+  return equivalence_classes(g).classes.size() == 1;
+}
+
+std::vector<NodeId> compose(const std::vector<NodeId>& a,
+                            const std::vector<NodeId>& b) {
+  QELECT_CHECK(a.size() == b.size(), "compose: size mismatch");
+  std::vector<NodeId> c(a.size());
+  for (NodeId x = 0; x < a.size(); ++x) c[x] = a[b[x]];
+  return c;
+}
+
+std::vector<NodeId> invert(const std::vector<NodeId>& a) {
+  std::vector<NodeId> inv(a.size());
+  for (NodeId x = 0; x < a.size(); ++x) inv[a[x]] = x;
+  return inv;
+}
+
+std::vector<NodeId> identity_permutation(std::size_t n) {
+  std::vector<NodeId> id(n);
+  std::iota(id.begin(), id.end(), 0u);
+  return id;
+}
+
+}  // namespace qelect::iso

@@ -1,0 +1,194 @@
+#include "qelect/iso/canonical.hpp"
+
+#include <algorithm>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const ColoredDigraph& g, const CanonicalOptions& options)
+      : g_(g), options_(options) {}
+
+  CanonicalForm run() {
+    if (g_.node_count() == 0) {
+      return CanonicalForm{{0}, {}, {}, 1};
+    }
+    descend(refine(g_));
+    CanonicalForm out;
+    out.certificate = std::move(best_cert_);
+    out.labeling = std::move(best_sigma_);
+    out.discovered_automorphisms = std::move(autos_);
+    out.leaves_evaluated = leaves_;
+    return out;
+  }
+
+ private:
+  void descend(const Coloring& c) {
+    if (is_discrete(c)) {
+      leaf(c);
+      return;
+    }
+    const auto classes = color_classes(c);
+    // Target cell: the first (lowest class index) non-singleton cell.  The
+    // class index order is iso-invariant, so this choice is too.
+    std::size_t target = classes.size();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      if (classes[i].size() > 1) {
+        target = i;
+        break;
+      }
+    }
+    QELECT_ASSERT(target < classes.size());
+    const std::uint32_t fresh =
+        static_cast<std::uint32_t>(classes.size());  // > every class index
+    std::vector<NodeId> tried;
+    for (NodeId y : classes[target]) {
+      if (pruned_by_automorphism(tried, y)) continue;
+      tried.push_back(y);
+      Coloring c2 = c;
+      c2[y] = fresh;
+      prefix_.push_back(y);
+      descend(refine(g_, c2));
+      prefix_.pop_back();
+    }
+  }
+
+  void leaf(const Coloring& c) {
+    ++leaves_;
+    // A discrete coloring is a permutation: node x sits at position c[x].
+    std::vector<NodeId> sigma(c.begin(), c.end());
+    Certificate cert = certificate_under(g_, sigma);
+    if (!have_best_ || cert < best_cert_) {
+      best_cert_ = std::move(cert);
+      best_sigma_ = std::move(sigma);
+      have_best_ = true;
+    } else if (cert == best_cert_) {
+      record_automorphism(sigma);
+    }
+  }
+
+  // gamma = best_sigma^{-1} o sigma maps this leaf's relabeling onto the
+  // best leaf's; equal certificates make it an automorphism.
+  void record_automorphism(const std::vector<NodeId>& sigma) {
+    // Pruning degrades gracefully (fewer skips, same answers) once the
+    // storage cap is hit or when pruning is disabled for ablation.
+    if (!options_.automorphism_pruning) return;
+    if (autos_.size() >= options_.max_stored_automorphisms) return;
+    std::vector<NodeId> best_inverse(best_sigma_.size());
+    for (NodeId x = 0; x < best_sigma_.size(); ++x) {
+      best_inverse[best_sigma_[x]] = x;
+    }
+    std::vector<NodeId> gamma(sigma.size());
+    for (NodeId x = 0; x < sigma.size(); ++x) {
+      gamma[x] = best_inverse[sigma[x]];
+    }
+    QELECT_ASSERT(is_automorphism(g_, gamma));
+    autos_.push_back(std::move(gamma));
+  }
+
+  // Candidate y is redundant if a discovered automorphism fixes every
+  // individualized ancestor and maps an already-tried sibling onto y: the
+  // subtree below y is then the automorphic image of an explored subtree
+  // and contributes no new certificates.
+  bool pruned_by_automorphism(const std::vector<NodeId>& tried,
+                              NodeId y) const {
+    for (const auto& gamma : autos_) {
+      bool fixes_prefix = true;
+      for (NodeId p : prefix_) {
+        if (gamma[p] != p) {
+          fixes_prefix = false;
+          break;
+        }
+      }
+      if (!fixes_prefix) continue;
+      for (NodeId x : tried) {
+        if (gamma[x] == y) return true;
+      }
+    }
+    return false;
+  }
+
+  const ColoredDigraph& g_;
+  CanonicalOptions options_;
+  Certificate best_cert_;
+  std::vector<NodeId> best_sigma_;
+  bool have_best_ = false;
+  std::vector<std::vector<NodeId>> autos_;
+  std::vector<NodeId> prefix_;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace
+
+Certificate certificate_under(const ColoredDigraph& g,
+                              const std::vector<NodeId>& sigma) {
+  const std::size_t n = g.node_count();
+  QELECT_CHECK(sigma.size() == n, "certificate_under: sigma size mismatch");
+  Certificate cert;
+  cert.reserve(1 + n + 1 + 3 * g.arcs().size());
+  cert.push_back(n);
+  std::vector<NodeId> inverse(n);
+  for (NodeId x = 0; x < n; ++x) inverse[sigma[x]] = x;
+  for (NodeId pos = 0; pos < n; ++pos) {
+    cert.push_back(g.color(inverse[pos]));
+  }
+  std::vector<Arc> arcs;
+  arcs.reserve(g.arcs().size());
+  for (const Arc& a : g.arcs()) {
+    arcs.push_back(Arc{sigma[a.from], sigma[a.to], a.label});
+  }
+  std::sort(arcs.begin(), arcs.end());
+  cert.push_back(arcs.size());
+  for (const Arc& a : arcs) {
+    cert.push_back(a.from);
+    cert.push_back(a.to);
+    cert.push_back(a.label);
+  }
+  return cert;
+}
+
+CanonicalForm canonical_form(const ColoredDigraph& g) {
+  return canonical_form(g, CanonicalOptions{});
+}
+
+CanonicalForm canonical_form(const ColoredDigraph& g,
+                             const CanonicalOptions& options) {
+  return Searcher(g, options).run();
+}
+
+Certificate canonical_certificate(const ColoredDigraph& g) {
+  return canonical_form(g).certificate;
+}
+
+bool are_isomorphic(const ColoredDigraph& a, const ColoredDigraph& b) {
+  if (a.node_count() != b.node_count()) return false;
+  if (a.arcs().size() != b.arcs().size()) return false;
+  return canonical_certificate(a) == canonical_certificate(b);
+}
+
+bool is_automorphism(const ColoredDigraph& g,
+                     const std::vector<NodeId>& sigma) {
+  const std::size_t n = g.node_count();
+  if (sigma.size() != n) return false;
+  std::vector<bool> used(n, false);
+  for (NodeId t : sigma) {
+    if (t >= n || used[t]) return false;
+    used[t] = true;
+  }
+  for (NodeId x = 0; x < n; ++x) {
+    if (g.color(sigma[x]) != g.color(x)) return false;
+  }
+  std::vector<Arc> mapped;
+  mapped.reserve(g.arcs().size());
+  for (const Arc& a : g.arcs()) {
+    mapped.push_back(Arc{sigma[a.from], sigma[a.to], a.label});
+  }
+  std::sort(mapped.begin(), mapped.end());
+  return mapped == g.arcs();
+}
+
+}  // namespace qelect::iso

@@ -1,0 +1,97 @@
+#include "qelect/iso/colored_digraph.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+ColoredDigraph::ColoredDigraph(std::size_t n,
+                               std::vector<std::uint32_t> node_colors,
+                               std::vector<Arc> arcs)
+    : colors_(std::move(node_colors)), arcs_(std::move(arcs)) {
+  QELECT_CHECK(colors_.size() == n, "ColoredDigraph: one color per node");
+  std::sort(arcs_.begin(), arcs_.end());
+  out_.resize(n);
+  in_.resize(n);
+  for (const Arc& a : arcs_) {
+    QELECT_CHECK(a.from < n && a.to < n, "ColoredDigraph: arc out of range");
+    out_[a.from].push_back(a);
+    in_[a.to].push_back(a);
+  }
+  for (auto& v : out_) {
+    std::sort(v.begin(), v.end(), [](const Arc& x, const Arc& y) {
+      return std::tie(x.to, x.label) < std::tie(y.to, y.label);
+    });
+  }
+  for (auto& v : in_) {
+    std::sort(v.begin(), v.end(), [](const Arc& x, const Arc& y) {
+      return std::tie(x.from, x.label) < std::tie(y.from, y.label);
+    });
+  }
+}
+
+ColoredDigraph ColoredDigraph::relabel(
+    const std::vector<NodeId>& sigma) const {
+  QELECT_CHECK(sigma.size() == colors_.size(),
+               "ColoredDigraph::relabel size mismatch");
+  std::vector<std::uint32_t> colors(colors_.size());
+  for (NodeId x = 0; x < colors_.size(); ++x) colors[sigma[x]] = colors_[x];
+  std::vector<Arc> arcs;
+  arcs.reserve(arcs_.size());
+  for (const Arc& a : arcs_) {
+    arcs.push_back(Arc{sigma[a.from], sigma[a.to], a.label});
+  }
+  return ColoredDigraph(colors_.size(), std::move(colors), std::move(arcs));
+}
+
+ColoredDigraph ColoredDigraph::individualize(NodeId x) const {
+  QELECT_CHECK(x < colors_.size(), "individualize: node out of range");
+  std::vector<std::uint32_t> colors = colors_;
+  const std::uint32_t fresh =
+      1 + *std::max_element(colors.begin(), colors.end());
+  colors[x] = fresh;
+  return ColoredDigraph(colors_.size(), std::move(colors), arcs_);
+}
+
+std::uint64_t pack_edge_labels(std::uint32_t out_label,
+                               std::uint32_t in_label) {
+  return (static_cast<std::uint64_t>(out_label) << 32) | in_label;
+}
+
+ColoredDigraph from_bicolored_graph(const graph::Graph& g,
+                                    const graph::Placement& p) {
+  return from_colored_graph(g, p.node_colors());
+}
+
+ColoredDigraph from_colored_graph(const graph::Graph& g,
+                                  const std::vector<std::uint32_t>& colors) {
+  QELECT_CHECK(colors.size() == g.node_count(),
+               "from_colored_graph: color count mismatch");
+  std::vector<Arc> arcs;
+  arcs.reserve(2 * g.edge_count());
+  for (const graph::Edge& e : g.edges()) {
+    arcs.push_back(Arc{e.u, e.v, 0});
+    arcs.push_back(Arc{e.v, e.u, 0});
+  }
+  return ColoredDigraph(g.node_count(), colors, std::move(arcs));
+}
+
+ColoredDigraph from_labeled_graph(const graph::Graph& g,
+                                  const graph::Placement& p,
+                                  const graph::EdgeLabeling& l) {
+  QELECT_CHECK(l.locally_distinct(g),
+               "from_labeled_graph: labeling must fit the graph");
+  std::vector<Arc> arcs;
+  arcs.reserve(2 * g.edge_count());
+  for (const graph::Edge& e : g.edges()) {
+    const std::uint32_t lu = l.at(e.u, e.u_port);
+    const std::uint32_t lv = l.at(e.v, e.v_port);
+    arcs.push_back(Arc{e.u, e.v, pack_edge_labels(lu, lv)});
+    arcs.push_back(Arc{e.v, e.u, pack_edge_labels(lv, lu)});
+  }
+  return ColoredDigraph(g.node_count(), p.node_colors(), std::move(arcs));
+}
+
+}  // namespace qelect::iso

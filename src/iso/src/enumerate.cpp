@@ -1,0 +1,39 @@
+#include "qelect/iso/enumerate.hpp"
+
+#include <map>
+
+#include "qelect/graph/placement.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+std::vector<graph::Graph> all_connected_graphs(std::size_t n) {
+  QELECT_CHECK(n >= 1 && n <= 6,
+               "all_connected_graphs supports n in [1, 6]");
+  // All node pairs, in a fixed order; each subset of pairs is a candidate.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  const std::size_t subsets = std::size_t{1} << pairs.size();
+  std::map<Certificate, graph::Graph> found;
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) edges.push_back(pairs[i]);
+    }
+    graph::Graph g = graph::Graph::from_edges(n, edges);
+    if (!g.is_connected()) continue;
+    Certificate cert = canonical_certificate(
+        from_bicolored_graph(g, graph::Placement::empty(n)));
+    found.emplace(std::move(cert), std::move(g));
+  }
+  std::vector<graph::Graph> out;
+  out.reserve(found.size());
+  for (auto& [cert, g] : found) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace qelect::iso

@@ -1,0 +1,36 @@
+#include "qelect/iso/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+OrderedClasses equivalence_classes(const ColoredDigraph& g) {
+  const std::size_t n = g.node_count();
+  std::map<Certificate, std::vector<NodeId>> by_cert;
+  for (NodeId x = 0; x < n; ++x) {
+    by_cert[canonical_certificate(g.individualize(x))].push_back(x);
+  }
+  OrderedClasses out;
+  out.class_of.assign(n, 0);
+  out.classes.reserve(by_cert.size());
+  out.certificates.reserve(by_cert.size());
+  for (auto& [cert, members] : by_cert) {
+    const std::size_t idx = out.classes.size();
+    for (NodeId x : members) out.class_of[x] = idx;
+    out.classes.push_back(std::move(members));
+    out.certificates.push_back(cert);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> class_sizes(const OrderedClasses& classes) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(classes.classes.size());
+  for (const auto& c : classes.classes) sizes.push_back(c.size());
+  return sizes;
+}
+
+}  // namespace qelect::iso

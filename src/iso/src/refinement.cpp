@@ -1,0 +1,115 @@
+#include "qelect/iso/refinement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+namespace {
+
+// The exact signature a node exposes in one refinement round: its current
+// class plus the sorted (label, neighbor class) lists in both directions.
+struct Signature {
+  std::uint32_t self = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> in;
+  auto operator<=>(const Signature&) const = default;
+};
+
+Signature signature_of(const ColoredDigraph& g, const Coloring& c, NodeId x) {
+  Signature s;
+  s.self = c[x];
+  s.out.reserve(g.out_arcs(x).size());
+  for (const Arc& a : g.out_arcs(x)) s.out.emplace_back(a.label, c[a.to]);
+  std::sort(s.out.begin(), s.out.end());
+  s.in.reserve(g.in_arcs(x).size());
+  for (const Arc& a : g.in_arcs(x)) s.in.emplace_back(a.label, c[a.from]);
+  std::sort(s.in.begin(), s.in.end());
+  return s;
+}
+
+// One refinement round; returns true if the coloring changed.  Dense ids
+// are assigned by sorting an index array over the signatures (no Signature
+// copies, no tree allocations -- this is the engine's hottest loop).
+bool refine_once(const ColoredDigraph& g, Coloring& c) {
+  const std::size_t n = g.node_count();
+  std::vector<Signature> sigs(n);
+  for (NodeId x = 0; x < n; ++x) sigs[x] = signature_of(g, c, x);
+  std::vector<NodeId> order(n);
+  for (NodeId x = 0; x < n; ++x) order[x] = x;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return sigs[a] < sigs[b];
+  });
+  Coloring fresh(n);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && sigs[order[i]] != sigs[order[i - 1]]) ++next;
+    fresh[order[i]] = next;
+  }
+  const std::size_t class_count = n == 0 ? 0 : next + 1;
+  // A refinement step only ever splits classes, so the partition is
+  // unchanged iff the class count is unchanged.
+  const bool changed =
+      class_count !=
+      static_cast<std::size_t>(*std::max_element(c.begin(), c.end())) + 1;
+  c = std::move(fresh);
+  return changed;
+}
+
+}  // namespace
+
+Coloring normalize_coloring(const Coloring& coloring) {
+  std::map<std::uint32_t, std::uint32_t> index;
+  for (std::uint32_t v : coloring) index.emplace(v, 0);
+  std::uint32_t next = 0;
+  for (auto& [value, idx] : index) idx = next++;
+  Coloring out(coloring.size());
+  for (std::size_t i = 0; i < coloring.size(); ++i) {
+    out[i] = index.at(coloring[i]);
+  }
+  return out;
+}
+
+Coloring refine(const ColoredDigraph& g, const Coloring& initial) {
+  QELECT_CHECK(initial.size() == g.node_count(),
+               "refine: coloring size mismatch");
+  Coloring c = normalize_coloring(initial);
+  if (g.node_count() == 0) return c;
+  while (refine_once(g, c)) {
+  }
+  return c;
+}
+
+Coloring refine(const ColoredDigraph& g) { return refine(g, g.colors()); }
+
+Coloring refine_rounds(const ColoredDigraph& g, const Coloring& initial,
+                       std::size_t rounds) {
+  QELECT_CHECK(initial.size() == g.node_count(),
+               "refine_rounds: coloring size mismatch");
+  Coloring c = normalize_coloring(initial);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (!refine_once(g, c)) break;
+  }
+  return c;
+}
+
+bool is_discrete(const Coloring& coloring) {
+  if (coloring.empty()) return true;
+  const std::uint32_t max = *std::max_element(coloring.begin(), coloring.end());
+  return static_cast<std::size_t>(max) + 1 == coloring.size();
+}
+
+std::vector<std::vector<NodeId>> color_classes(const Coloring& coloring) {
+  std::uint32_t max = 0;
+  for (std::uint32_t c : coloring) max = std::max(max, c);
+  std::vector<std::vector<NodeId>> classes(coloring.empty() ? 0 : max + 1);
+  for (NodeId x = 0; x < coloring.size(); ++x) {
+    classes[coloring[x]].push_back(x);
+  }
+  return classes;
+}
+
+}  // namespace qelect::iso

@@ -1,0 +1,67 @@
+// The Figure 1 transformation: mobile agents as messages in an anonymous
+// processor network.
+//
+// Theorem 2.1's proof converts any mobile-agent protocol into a distributed
+// protocol for the same anonymous network: a processor's memory is its
+// whiteboard, a *message* is an agent (program + memory), and "the agent
+// moves through port i" becomes "send the message through port i".
+// MessageWorld executes protocols under exactly this reading:
+//
+//   * an agent is either AT a processor (computing against the local
+//     whiteboard) or IN TRANSIT on a link (a message);
+//   * a move suspends the agent into the link; a separate, adversarially
+//     scheduled *delivery* step makes it arrive -- so unlike World, where a
+//     move is one atomic step, transit has unpredictable duration and the
+//     network state can change arbitrarily while an agent is nowhere;
+//   * everything else (whiteboard atomicity, anonymity, color opacity) is
+//     identical to World.
+//
+// The protocols proven correct in the mobile model must remain correct
+// here -- that is the content of the transformation -- and the test-suite
+// runs ELECT, gathering, the quantitative baseline, and the Petersen
+// protocol through MessageWorld to confirm it.
+#pragma once
+
+#include "qelect/sim/world.hpp"
+
+namespace qelect::sim {
+
+/// Run statistics specific to the message-passing reading.
+struct MessageRunResult : RunResult {
+  std::size_t messages_delivered = 0;  // equals the agents' total moves
+  std::size_t max_in_transit = 0;      // peak number of in-flight agents
+};
+
+/// The processor-network arena.
+class MessageWorld {
+ public:
+  MessageWorld(graph::Graph g, graph::Placement p, std::uint64_t color_seed);
+
+  /// Quantitative variant (agents carry comparable integer labels).
+  static MessageWorld quantitative(graph::Graph g, graph::Placement p,
+                                   std::uint64_t color_seed);
+
+  const graph::Graph& graph() const { return graph_; }
+  const graph::Placement& placement() const { return placement_; }
+  const std::vector<Color>& agent_colors() const { return colors_; }
+
+  /// Runs `protocol` under `config`.  The scheduler picks among enabled
+  /// compute steps *and* pending deliveries; Lockstep delivers and steps
+  /// everything once per round.
+  MessageRunResult run(const Protocol& protocol, const RunConfig& config);
+
+  const Whiteboard& board_at(graph::NodeId node) const;
+
+ private:
+  MessageWorld(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
+               bool quantitative);
+
+  graph::Graph graph_;
+  graph::Placement placement_;
+  bool quantitative_ = false;
+  std::vector<Color> colors_;
+  std::vector<std::int64_t> quant_ids_;
+  std::vector<Whiteboard> boards_;
+};
+
+}  // namespace qelect::sim

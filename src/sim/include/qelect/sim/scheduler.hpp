@@ -1,0 +1,36 @@
+// Scheduling policies for the asynchronous adversary.
+//
+// The model only promises that every action takes "a finite but otherwise
+// unpredictable amount of time"; correctness claims are therefore
+// quantified over schedulers.  The library ships a seeded-random scheduler
+// (many seeds approximate "all interleavings" in the property tests), a
+// round-robin scheduler, and the Lockstep policy (handled by World itself)
+// that realizes the synchronous symmetric adversary of Section 1.3's
+// impossibility argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/sim/world.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::sim {
+
+/// Picks which enabled agent steps next under Random / RoundRobin policies.
+class Scheduler {
+ public:
+  Scheduler(const RunConfig& config, std::size_t agent_count);
+
+  /// `enabled` is non-empty and sorted ascending; returns one of its
+  /// members.
+  std::size_t pick(const std::vector<std::size_t>& enabled);
+
+ private:
+  SchedulerPolicy policy_;
+  Xoshiro256 rng_;
+  std::size_t cursor_ = 0;
+  std::size_t agent_count_;
+};
+
+}  // namespace qelect::sim

@@ -1,0 +1,63 @@
+// Whiteboards: the model's only communication medium.
+//
+// "Communication between agents is achieved through writing of signs on
+// whiteboards, i.e., local storages where agents can read, write (and
+// erase) signs.  There is one whiteboard per node, and access to a
+// whiteboard is done by assuming a fair mutual exclusion mechanism."
+// (Section 1.2.)  A sign is a colored string of bits; we model it as the
+// writer's color, a small integer tag, and an integer payload.
+//
+// The mutual-exclusion mechanism is realized by the runtime: a whiteboard
+// access is one atomic read-modify-write step (see AgentCtx::board), so two
+// agents can never interleave inside an access -- which is exactly what the
+// acquire races of NODE-REDUCE and of the Petersen protocol rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qelect/sim/color.hpp"
+
+namespace qelect::sim {
+
+/// One colored sign on a whiteboard.
+struct Sign {
+  Color color;                        // the writer's color
+  std::uint32_t tag = 0;              // protocol-defined kind
+  std::vector<std::int64_t> payload;  // protocol-defined data
+  bool operator==(const Sign&) const = default;
+};
+
+/// A node's local storage.
+class Whiteboard {
+ public:
+  const std::vector<Sign>& signs() const { return signs_; }
+
+  void post(Sign sign) { signs_.push_back(std::move(sign)); }
+
+  /// Removes all signs matching the predicate; returns how many.
+  std::size_t erase_if(const std::function<bool(const Sign&)>& pred);
+
+  /// All signs with the given tag.
+  std::vector<Sign> with_tag(std::uint32_t tag) const;
+
+  /// First sign with the given tag, if any.
+  const Sign* find_tag(std::uint32_t tag) const;
+
+  /// First sign with the given tag and color, if any.
+  const Sign* find(std::uint32_t tag, const Color& color) const;
+
+  /// Number of signs with the given tag.
+  std::size_t count_tag(std::uint32_t tag) const;
+
+  /// Number of *distinct colors* among signs with the given tag -- the
+  /// count-based rendezvous primitive ("wait until d distinct activation
+  /// signs appear") that lets agents coordinate without ordering colors.
+  std::size_t distinct_colors_with_tag(std::uint32_t tag) const;
+
+ private:
+  std::vector<Sign> signs_;
+};
+
+}  // namespace qelect::sim

@@ -1,0 +1,189 @@
+// The mobile-agent world: anonymous network + whiteboards + scheduler.
+//
+// World hosts one run of a protocol on (G, p).  Faithfulness to Section 1.2:
+//
+//   * nodes are anonymous -- AgentCtx never exposes a node identity; an
+//     agent observes only its color, the local degree, the port it entered
+//     through, and the local whiteboard;
+//   * every home-base is pre-marked with a home-base sign of the owner's
+//     color (and, in quantitative worlds, the owner's integer label);
+//   * agents are asynchronous: every co_await boundary is a point where the
+//     scheduler may run other agents, and the scheduling policy (seeded
+//     random, round-robin, or lockstep) is the adversary;
+//   * whiteboard access is atomic (fair mutual exclusion).
+//
+// The runtime counts moves and whiteboard accesses per agent, which is how
+// the benches check Theorem 3.1's O(r |E|) bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/sim/behavior.hpp"
+#include "qelect/sim/color.hpp"
+#include "qelect/sim/whiteboard.hpp"
+
+namespace qelect::sim {
+
+/// Sign tag reserved by the runtime for home-base marks; protocol-defined
+/// tags must be >= kFirstProtocolTag.
+inline constexpr std::uint32_t kTagHomeBase = 1;
+inline constexpr std::uint32_t kFirstProtocolTag = 100;
+
+/// Terminal states an agent can declare.
+enum class AgentStatus {
+  Running,           // not yet terminated (or protocol ended silently)
+  Leader,            // declared itself elected
+  Defeated,          // knows the leader's color
+  FailureDetected,   // knows election is unsolvable on this input
+};
+
+/// What one agent can see and do.  Handed by reference to the protocol
+/// coroutine; owned by the World.
+class World;
+class AgentCtx {
+ public:
+  /// The agent's own color (its only label in the qualitative world).
+  const Color& self() const { return color_; }
+
+  /// Degree of the node the agent currently occupies.
+  std::size_t degree() const;
+
+  /// The port through which the agent entered the current node; nullopt
+  /// before the first move.
+  std::optional<graph::PortId> entry_port() const { return entry_port_; }
+
+  /// In quantitative worlds: the agent's comparable integer label.
+  /// nullopt in the qualitative world.
+  std::optional<std::int64_t> quantitative_id() const { return quant_id_; }
+
+  /// Atomic actions (each one co_await = one step):
+  ActionAwaiter move(graph::PortId port);
+  /// Atomic read-modify-write of the local whiteboard under mutex.
+  ActionAwaiter board(std::function<void(Whiteboard&)> fn);
+  /// Suspends until the local whiteboard satisfies `pred`.
+  ActionAwaiter wait_until(std::function<bool(const Whiteboard&)> pred);
+  /// Gives the scheduler an interleaving point without acting.
+  ActionAwaiter yield();
+
+  /// Terminal declarations (call once, then co_return).
+  void declare_leader();
+  void declare_defeated(const Color& leader);
+  void declare_failure_detected();
+
+  AgentStatus status() const { return status_; }
+  const Color& leader_color() const { return leader_color_; }
+
+ private:
+  friend class World;
+  friend class MessageWorld;
+  Color color_;
+  std::optional<std::int64_t> quant_id_;
+  graph::NodeId position_ = 0;
+  std::optional<graph::PortId> entry_port_;
+  AgentStatus status_ = AgentStatus::Running;
+  Color leader_color_;
+  const graph::Graph* graph_ = nullptr;
+  std::size_t moves_ = 0;
+  std::size_t board_accesses_ = 0;
+};
+
+/// A protocol: a coroutine factory invoked once per agent.
+using Protocol = std::function<Behavior(AgentCtx&)>;
+
+/// Scheduling policies (the adversary).
+enum class SchedulerPolicy {
+  Random,      // uniformly random enabled agent each step (seeded)
+  RoundRobin,  // cyclic over enabled agents
+  Lockstep,    // synchronous rounds: every enabled agent steps once per round
+};
+
+struct RunConfig {
+  SchedulerPolicy policy = SchedulerPolicy::Random;
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 20'000'000;
+  /// Record a TraceEvent per executed step in RunResult::events (observer
+  /// instrumentation; costs memory proportional to the step count).
+  bool record_events = false;
+};
+
+/// One executed scheduler step, for external inspection and debugging.
+/// Node ids are the observer's view -- agents themselves never see them.
+struct TraceEvent {
+  enum class Kind { Move, Board, WaitResume, Yield, Start };
+  std::size_t step = 0;
+  std::size_t agent = 0;   // index in home-base order
+  Kind kind = Kind::Start;
+  graph::NodeId node = 0;  // the agent's node after the step
+};
+
+/// Per-agent outcome of a run.
+struct AgentReport {
+  Color color;
+  AgentStatus status = AgentStatus::Running;
+  Color leader_color;                 // meaningful for Defeated and Leader
+  graph::NodeId final_position = 0;   // external observer data (tests only)
+  std::size_t moves = 0;
+  std::size_t board_accesses = 0;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool completed = false;   // every agent's coroutine finished
+  bool deadlock = false;    // live agents, none enabled
+  bool step_limit = false;  // max_steps exhausted
+  std::size_t steps = 0;
+  std::size_t total_moves = 0;
+  std::size_t total_board_accesses = 0;
+  std::vector<AgentReport> agents;  // in home-base order
+  std::vector<TraceEvent> events;   // filled when RunConfig::record_events
+
+  /// Number of agents that finished as Leader.
+  std::size_t leader_count() const;
+  /// True iff exactly one leader was elected and every other agent is
+  /// Defeated and knows the leader's color.
+  bool clean_election() const;
+  /// True iff every agent finished in FailureDetected.
+  bool clean_failure() const;
+};
+
+/// One simulation arena.  Construct, then run a protocol.
+class World {
+ public:
+  /// Qualitative world: agents get opaque colors minted from `color_seed`.
+  World(graph::Graph g, graph::Placement p, std::uint64_t color_seed);
+
+  /// Quantitative world: agents additionally carry distinct comparable
+  /// integer labels (randomized from the same seed).
+  static World quantitative(graph::Graph g, graph::Placement p,
+                            std::uint64_t color_seed);
+
+  const graph::Graph& graph() const { return graph_; }
+  const graph::Placement& placement() const { return placement_; }
+  const std::vector<Color>& agent_colors() const { return colors_; }
+
+  /// Runs `protocol` for every agent under `config`.  Resets whiteboards
+  /// and agent state first, so a World can be run multiple times.
+  RunResult run(const Protocol& protocol, const RunConfig& config);
+
+  /// Post-run inspection (tests / external observer only).
+  const Whiteboard& board_at(graph::NodeId node) const;
+
+ private:
+  World(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
+        bool quantitative);
+
+  graph::Graph graph_;
+  graph::Placement placement_;
+  bool quantitative_ = false;
+  std::vector<Color> colors_;              // per agent, home-base order
+  std::vector<std::int64_t> quant_ids_;    // per agent if quantitative
+  std::vector<Whiteboard> boards_;         // per node
+};
+
+}  // namespace qelect::sim

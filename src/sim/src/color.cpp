@@ -1,0 +1,43 @@
+#include "qelect/sim/color.hpp"
+
+#include <algorithm>
+
+#include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::sim {
+
+ColorUniverse::ColorUniverse(std::uint64_t seed) : state_(seed) {}
+
+Color ColorUniverse::mint() {
+  SplitMix64 rng(state_);
+  std::uint64_t token;
+  do {
+    token = rng.next();
+    state_ = token;
+  } while (token == 0 ||
+           std::find(minted_.begin(), minted_.end(), token) != minted_.end());
+  minted_.push_back(token);
+  return Color(token);
+}
+
+std::vector<Color> ColorUniverse::mint_many(std::size_t count) {
+  std::vector<Color> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(mint());
+  return out;
+}
+
+std::size_t ColorIndex::index_of(const Color& c) {
+  for (std::size_t i = 0; i < seen_.size(); ++i) {
+    if (seen_[i] == c) return i;
+  }
+  seen_.push_back(c);
+  return seen_.size() - 1;
+}
+
+bool ColorIndex::contains(const Color& c) const {
+  return std::find(seen_.begin(), seen_.end(), c) != seen_.end();
+}
+
+}  // namespace qelect::sim

@@ -1,0 +1,185 @@
+#include "qelect/sim/message_world.hpp"
+
+#include <algorithm>
+
+#include "qelect/sim/scheduler.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::sim {
+
+MessageWorld::MessageWorld(graph::Graph g, graph::Placement p,
+                           std::uint64_t color_seed)
+    : MessageWorld(std::move(g), std::move(p), color_seed, false) {}
+
+MessageWorld MessageWorld::quantitative(graph::Graph g, graph::Placement p,
+                                        std::uint64_t color_seed) {
+  return MessageWorld(std::move(g), std::move(p), color_seed, true);
+}
+
+MessageWorld::MessageWorld(graph::Graph g, graph::Placement p,
+                           std::uint64_t color_seed, bool quantitative)
+    : graph_(std::move(g)),
+      placement_(std::move(p)),
+      quantitative_(quantitative) {
+  QELECT_CHECK(placement_.node_count() == graph_.node_count(),
+               "MessageWorld: placement does not fit graph");
+  QELECT_CHECK(graph_.is_connected(), "MessageWorld: graph must be connected");
+  ColorUniverse universe(color_seed);
+  colors_ = universe.mint_many(placement_.agent_count());
+  if (quantitative_) {
+    Xoshiro256 rng(color_seed ^ 0x51a7eb71d3c2a9f0ULL);
+    std::vector<std::int64_t> ids;
+    while (ids.size() < placement_.agent_count()) {
+      const std::int64_t candidate =
+          static_cast<std::int64_t>(rng.next() >> 16);
+      if (std::find(ids.begin(), ids.end(), candidate) == ids.end()) {
+        ids.push_back(candidate);
+      }
+    }
+    quant_ids_ = std::move(ids);
+  }
+}
+
+const Whiteboard& MessageWorld::board_at(graph::NodeId node) const {
+  QELECT_CHECK(node < boards_.size(), "board_at: node out of range");
+  return boards_[node];
+}
+
+MessageRunResult MessageWorld::run(const Protocol& protocol,
+                                   const RunConfig& config) {
+  const std::size_t r = placement_.agent_count();
+  boards_.assign(graph_.node_count(), Whiteboard{});
+
+  std::vector<AgentCtx> contexts(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    const graph::NodeId home = placement_.home_bases()[i];
+    AgentCtx& ctx = contexts[i];
+    ctx.color_ = colors_[i];
+    ctx.position_ = home;
+    ctx.graph_ = &graph_;
+    if (quantitative_) ctx.quant_id_ = quant_ids_[i];
+    Sign mark;
+    mark.color = colors_[i];
+    mark.tag = kTagHomeBase;
+    if (quantitative_) mark.payload.push_back(quant_ids_[i]);
+    boards_[home].post(std::move(mark));
+  }
+
+  std::vector<Behavior> behaviors;
+  behaviors.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    behaviors.push_back(protocol(contexts[i]));
+    QELECT_CHECK(behaviors.back().handle(),
+                 "protocol returned an empty Behavior");
+  }
+
+  // Transit state per agent: the half-edge the message is traversing, or
+  // none.  An in-transit agent's only enabled step is its delivery.
+  struct Transit {
+    bool in_flight = false;
+    graph::HalfEdge arrival;  // the far side it will arrive at
+  };
+  std::vector<Transit> transit(r);
+
+  Scheduler scheduler(config, r);
+  MessageRunResult result;
+
+  // Enabled = delivery pending, or a compute step the processor can take.
+  auto agent_enabled = [&](std::size_t i) -> bool {
+    if (transit[i].in_flight) return true;  // delivery is always possible
+    if (behaviors[i].done()) return false;
+    const PendingAction& pending = behaviors[i].handle().promise().pending;
+    if (std::holds_alternative<ActionMove>(pending)) return true;
+    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
+      return wait->pred(boards_[contexts[i].position_]);
+    }
+    return true;
+  };
+
+  auto execute_step = [&](std::size_t i) {
+    AgentCtx& ctx = contexts[i];
+    if (transit[i].in_flight) {
+      // Delivery: the message (P, M) arrives and the processor resumes
+      // executing P against its whiteboard.
+      transit[i].in_flight = false;
+      ctx.position_ = transit[i].arrival.to;
+      ctx.entry_port_ = transit[i].arrival.to_port;
+      ++ctx.moves_;
+      ++result.messages_delivered;
+      behaviors[i].resume_target().resume();
+    } else {
+      Behavior::Handle handle = behaviors[i].handle();
+      PendingAction& pending = handle.promise().pending;
+      if (auto* mv = std::get_if<ActionMove>(&pending)) {
+        // Send: the agent leaves the processor and becomes a message on
+        // the link; it will resume only at delivery.
+        QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
+                     "agent moved through a nonexistent port");
+        transit[i].in_flight = true;
+        transit[i].arrival = graph_.peer(ctx.position_, mv->port);
+        pending = std::monostate{};
+        // Do NOT resume: the coroutine continues at delivery.
+      } else {
+        if (auto* bd = std::get_if<ActionBoard>(&pending)) {
+          bd->fn(boards_[ctx.position_]);
+          ++ctx.board_accesses_;
+        }
+        pending = std::monostate{};
+        behaviors[i].resume_target().resume();
+      }
+    }
+    const Behavior::Handle handle = behaviors[i].handle();
+    if (handle.done() && handle.promise().exception) {
+      std::rethrow_exception(handle.promise().exception);
+    }
+    ++result.steps;
+    std::size_t in_flight = 0;
+    for (const Transit& t : transit) {
+      if (t.in_flight) ++in_flight;
+    }
+    result.max_in_transit = std::max(result.max_in_transit, in_flight);
+  };
+
+  while (result.steps < config.max_steps) {
+    std::vector<std::size_t> enabled;
+    bool any_live = false;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (!behaviors[i].done() || transit[i].in_flight) any_live = true;
+      if (agent_enabled(i)) enabled.push_back(i);
+    }
+    if (!any_live) {
+      result.completed = true;
+      break;
+    }
+    if (enabled.empty()) {
+      result.deadlock = true;
+      break;
+    }
+    if (config.policy == SchedulerPolicy::Lockstep) {
+      for (std::size_t i : enabled) {
+        if (result.steps >= config.max_steps) break;
+        execute_step(i);
+      }
+    } else {
+      execute_step(scheduler.pick(enabled));
+    }
+  }
+  if (!result.completed && !result.deadlock) result.step_limit = true;
+
+  for (std::size_t i = 0; i < r; ++i) {
+    AgentReport report;
+    report.color = contexts[i].color_;
+    report.status = contexts[i].status_;
+    report.leader_color = contexts[i].leader_color_;
+    report.final_position = contexts[i].position_;
+    report.moves = contexts[i].moves_;
+    report.board_accesses = contexts[i].board_accesses_;
+    result.total_moves += report.moves;
+    result.total_board_accesses += report.board_accesses;
+    result.agents.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace qelect::sim

@@ -1,0 +1,29 @@
+#include "qelect/sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::sim {
+
+Scheduler::Scheduler(const RunConfig& config, std::size_t agent_count)
+    : policy_(config.policy), rng_(config.seed), agent_count_(agent_count) {}
+
+std::size_t Scheduler::pick(const std::vector<std::size_t>& enabled) {
+  QELECT_ASSERT(!enabled.empty());
+  if (policy_ == SchedulerPolicy::RoundRobin) {
+    // Advance the cursor to the next enabled agent (cyclically).
+    for (std::size_t hop = 0; hop < agent_count_; ++hop) {
+      const std::size_t candidate = (cursor_ + hop) % agent_count_;
+      if (std::binary_search(enabled.begin(), enabled.end(), candidate)) {
+        cursor_ = (candidate + 1) % agent_count_;
+        return candidate;
+      }
+    }
+    QELECT_ASSERT(false);
+  }
+  // Random (default): uniform over the enabled set.
+  return enabled[rng_.below(enabled.size())];
+}
+
+}  // namespace qelect::sim

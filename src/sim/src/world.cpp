@@ -1,0 +1,231 @@
+#include "qelect/sim/world.hpp"
+
+#include <algorithm>
+
+#include "qelect/sim/scheduler.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect::sim {
+
+std::size_t AgentCtx::degree() const {
+  QELECT_ASSERT(graph_ != nullptr);
+  return graph_->degree(position_);
+}
+
+ActionAwaiter AgentCtx::move(graph::PortId port) {
+  return ActionAwaiter{ActionMove{port}};
+}
+
+ActionAwaiter AgentCtx::board(std::function<void(Whiteboard&)> fn) {
+  return ActionAwaiter{ActionBoard{std::move(fn)}};
+}
+
+ActionAwaiter AgentCtx::wait_until(
+    std::function<bool(const Whiteboard&)> pred) {
+  return ActionAwaiter{ActionWait{std::move(pred)}};
+}
+
+ActionAwaiter AgentCtx::yield() { return ActionAwaiter{ActionYield{}}; }
+
+void AgentCtx::declare_leader() { status_ = AgentStatus::Leader; }
+
+void AgentCtx::declare_defeated(const Color& leader) {
+  status_ = AgentStatus::Defeated;
+  leader_color_ = leader;
+}
+
+void AgentCtx::declare_failure_detected() {
+  status_ = AgentStatus::FailureDetected;
+}
+
+std::size_t RunResult::leader_count() const {
+  std::size_t count = 0;
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Leader) ++count;
+  }
+  return count;
+}
+
+bool RunResult::clean_election() const {
+  if (!completed || leader_count() != 1) return false;
+  Color leader;
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Leader) leader = a.color;
+  }
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Leader) continue;
+    if (a.status != AgentStatus::Defeated) return false;
+    if (!(a.leader_color == leader)) return false;
+  }
+  return true;
+}
+
+bool RunResult::clean_failure() const {
+  if (!completed) return false;
+  return std::all_of(agents.begin(), agents.end(), [](const AgentReport& a) {
+    return a.status == AgentStatus::FailureDetected;
+  });
+}
+
+World::World(graph::Graph g, graph::Placement p, std::uint64_t color_seed)
+    : World(std::move(g), std::move(p), color_seed, false) {}
+
+World World::quantitative(graph::Graph g, graph::Placement p,
+                          std::uint64_t color_seed) {
+  return World(std::move(g), std::move(p), color_seed, true);
+}
+
+World::World(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
+             bool quantitative)
+    : graph_(std::move(g)),
+      placement_(std::move(p)),
+      quantitative_(quantitative) {
+  QELECT_CHECK(placement_.node_count() == graph_.node_count(),
+               "World: placement does not fit graph");
+  QELECT_CHECK(graph_.is_connected(), "World: graph must be connected");
+  ColorUniverse universe(color_seed);
+  colors_ = universe.mint_many(placement_.agent_count());
+  if (quantitative_) {
+    // Distinct comparable labels; randomized so protocols cannot rely on
+    // them being 0..r-1.
+    Xoshiro256 rng(color_seed ^ 0x51a7eb71d3c2a9f0ULL);
+    std::vector<std::int64_t> ids;
+    while (ids.size() < placement_.agent_count()) {
+      const std::int64_t candidate =
+          static_cast<std::int64_t>(rng.next() >> 16);
+      if (std::find(ids.begin(), ids.end(), candidate) == ids.end()) {
+        ids.push_back(candidate);
+      }
+    }
+    quant_ids_ = std::move(ids);
+  }
+}
+
+const Whiteboard& World::board_at(graph::NodeId node) const {
+  QELECT_CHECK(node < boards_.size(), "board_at: node out of range");
+  return boards_[node];
+}
+
+RunResult World::run(const Protocol& protocol, const RunConfig& config) {
+  const std::size_t r = placement_.agent_count();
+  boards_.assign(graph_.node_count(), Whiteboard{});
+
+  // Mark every home-base with its owner's colored sign (Section 1.2); in
+  // quantitative worlds the sign also carries the integer label so any
+  // traversing agent can read it.
+  std::vector<AgentCtx> contexts(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    const graph::NodeId home = placement_.home_bases()[i];
+    AgentCtx& ctx = contexts[i];
+    ctx.color_ = colors_[i];
+    ctx.position_ = home;
+    ctx.graph_ = &graph_;
+    if (quantitative_) ctx.quant_id_ = quant_ids_[i];
+    Sign mark;
+    mark.color = colors_[i];
+    mark.tag = kTagHomeBase;
+    if (quantitative_) mark.payload.push_back(quant_ids_[i]);
+    boards_[home].post(std::move(mark));
+  }
+
+  std::vector<Behavior> behaviors;
+  behaviors.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    behaviors.push_back(protocol(contexts[i]));
+    QELECT_CHECK(behaviors.back().handle(),
+                 "protocol returned an empty Behavior");
+  }
+
+  Scheduler scheduler(config, r);
+  RunResult result;
+
+  auto agent_enabled = [&](std::size_t i) -> bool {
+    if (behaviors[i].done()) return false;
+    const PendingAction& pending =
+        behaviors[i].handle().promise().pending;
+    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
+      return wait->pred(boards_[contexts[i].position_]);
+    }
+    return true;
+  };
+
+  auto execute_step = [&](std::size_t i) {
+    AgentCtx& ctx = contexts[i];
+    Behavior::Handle handle = behaviors[i].handle();
+    PendingAction& pending = handle.promise().pending;
+    TraceEvent::Kind kind = TraceEvent::Kind::Start;
+    if (auto* mv = std::get_if<ActionMove>(&pending)) {
+      QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
+                   "agent moved through a nonexistent port");
+      const graph::HalfEdge& h = graph_.peer(ctx.position_, mv->port);
+      ctx.position_ = h.to;
+      ctx.entry_port_ = h.to_port;
+      ++ctx.moves_;
+      kind = TraceEvent::Kind::Move;
+    } else if (auto* bd = std::get_if<ActionBoard>(&pending)) {
+      bd->fn(boards_[ctx.position_]);
+      ++ctx.board_accesses_;
+      kind = TraceEvent::Kind::Board;
+    } else if (std::holds_alternative<ActionWait>(pending)) {
+      kind = TraceEvent::Kind::WaitResume;
+    } else if (std::holds_alternative<ActionYield>(pending)) {
+      kind = TraceEvent::Kind::Yield;
+    }
+    // ActionWait (already satisfied), ActionYield, monostate: no effect.
+    pending = std::monostate{};
+    behaviors[i].resume_target().resume();
+    if (handle.done() && handle.promise().exception) {
+      std::rethrow_exception(handle.promise().exception);
+    }
+    if (config.record_events) {
+      result.events.push_back(
+          TraceEvent{result.steps, i, kind, ctx.position_});
+    }
+    ++result.steps;
+  };
+
+  while (result.steps < config.max_steps) {
+    std::vector<std::size_t> enabled;
+    bool any_live = false;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (!behaviors[i].done()) any_live = true;
+      if (agent_enabled(i)) enabled.push_back(i);
+    }
+    if (!any_live) {
+      result.completed = true;
+      break;
+    }
+    if (enabled.empty()) {
+      result.deadlock = true;
+      break;
+    }
+    if (config.policy == SchedulerPolicy::Lockstep) {
+      // One synchronous round: every enabled agent performs one step, in
+      // home-base order (the paper's Section 1.3 adversary).
+      for (std::size_t i : enabled) {
+        if (result.steps >= config.max_steps) break;
+        execute_step(i);
+      }
+    } else {
+      execute_step(scheduler.pick(enabled));
+    }
+  }
+  if (!result.completed && !result.deadlock) result.step_limit = true;
+
+  for (std::size_t i = 0; i < r; ++i) {
+    AgentReport report;
+    report.color = contexts[i].color_;
+    report.status = contexts[i].status_;
+    report.leader_color = contexts[i].leader_color_;
+    report.final_position = contexts[i].position_;
+    report.moves = contexts[i].moves_;
+    report.board_accesses = contexts[i].board_accesses_;
+    result.total_moves += report.moves;
+    result.total_board_accesses += report.board_accesses;
+    result.agents.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace qelect::sim

@@ -1,0 +1,40 @@
+// Runtime checking utilities shared by every qelect module.
+//
+// Two tiers are provided:
+//   QELECT_ASSERT(cond)        -- internal invariant; compiled out in NDEBUG.
+//   QELECT_CHECK(cond, msg)    -- precondition on public API input; always on,
+//                                 throws qelect::CheckError so library misuse
+//                                 is reported instead of corrupting state.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace qelect {
+
+/// Thrown when a QELECT_CHECK precondition on a public API is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw CheckError(std::string("QELECT_CHECK failed: ") + expr + " at " +
+                   file + ":" + std::to_string(line) +
+                   (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace qelect
+
+#define QELECT_ASSERT(cond) assert(cond)
+
+#define QELECT_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::qelect::detail::check_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,60 @@
+// Small number-theory helpers used by the reduction-phase analysis.
+//
+// Protocol ELECT's AGENT-REDUCE subroutine is, structurally, Euclid's
+// algorithm executed by mobile agents: the sequence of (searching, waiting)
+// set sizes is exactly the sequence of remainder pairs.  These helpers give
+// the offline "oracle" values the tests and benches compare against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qelect {
+
+/// gcd of a non-empty list of positive integers.
+std::uint64_t gcd_all(const std::vector<std::uint64_t>& values);
+
+/// One step of the subtractive/remainder pair dynamics used by AGENT-REDUCE
+/// (paper, Section 3.3.1): given the current (searching, waiting) sizes
+/// (s, w) with s <= w, the next pair is
+///   (s, w - s)  if w - s >= s
+///   (w - s, s)  otherwise,
+/// i.e. the slow (subtractive) form of Euclid's algorithm.
+struct ReducePair {
+  std::uint64_t searching;
+  std::uint64_t waiting;
+  bool operator==(const ReducePair&) const = default;
+};
+
+/// Full trajectory of AGENT-REDUCE pair sizes starting from sets of sizes
+/// `a` and `b` (both positive), ending at the fixed point (g, g) with
+/// g = gcd(a, b).  The first element is the initial (min, max) pair.
+std::vector<ReducePair> agent_reduce_trajectory(std::uint64_t a,
+                                                std::uint64_t b);
+
+/// Number of matching rounds AGENT-REDUCE performs on inputs of sizes a, b
+/// (the trajectory length minus one).
+std::size_t agent_reduce_rounds(std::uint64_t a, std::uint64_t b);
+
+/// Trajectory of NODE-REDUCE sizes (agents, selected-nodes) per the paper's
+/// Section 3.3.2: the larger side is replaced by rho where
+/// larger = q * smaller + rho, 0 < rho <= smaller.  Terminates at (g, g),
+/// g = gcd(a, b).
+std::vector<ReducePair> node_reduce_trajectory(std::uint64_t agents,
+                                               std::uint64_t nodes);
+
+/// Remainder in (0, m]: r such that v = q*m + r with 0 < r <= m.
+/// This is the paper's convention (rho ranges over (0, beta], not [0, beta)).
+std::uint64_t remainder_in_range(std::uint64_t v, std::uint64_t m);
+
+/// n-th Fibonacci number (n <= 90); Fibonacci inputs are the worst case for
+/// the reduction round count, used by bench_reduce_euclid.
+std::uint64_t fibonacci(unsigned n);
+
+/// Integer square root.
+std::uint64_t isqrt(std::uint64_t n);
+
+/// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::uint64_t n);
+
+}  // namespace qelect

@@ -1,0 +1,39 @@
+// Minimal data-parallel helpers for the offline sweeps.
+//
+// The feasibility analytics (canonical forms, recognition, exhaustive
+// labeling searches) are embarrassingly parallel across instances; the
+// experiment drivers use parallel_for to spread them over hardware threads.
+// The design follows the explicit-parallelism guidance of the domain
+// guides: parallelism is opt-in, the partitioning is visible (static block
+// decomposition), results are written to disjoint slots (no shared mutable
+// state, no locks on the hot path), and thread count 1 degrades to a plain
+// loop so single-core machines and debuggers see sequential behavior.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace qelect {
+
+/// Invokes fn(i) for i in [0, count), distributed over `threads` hardware
+/// threads (block decomposition).  fn must be safe to call concurrently
+/// for distinct i and must not throw (a throwing fn terminates, as with
+/// any unhandled exception on a std::thread).  threads == 0 picks
+/// std::thread::hardware_concurrency().
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// Maps fn over [0, count) into a vector, in index order, in parallel.
+template <typename T>
+std::vector<T> parallel_map(std::size_t count,
+                            const std::function<T(std::size_t)>& fn,
+                            unsigned threads = 0) {
+  std::vector<T> out(count);
+  parallel_for(
+      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace qelect

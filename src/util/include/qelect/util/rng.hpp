@@ -1,0 +1,83 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component of the library (schedulers, random graph
+// generators, color-token assignment) draws from these generators so that
+// any run is reproducible from a single 64-bit seed.  The generators are
+// SplitMix64 (for seeding / hashing) and Xoshiro256** (bulk generation);
+// both are tiny, fast, and have well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace qelect {
+
+/// SplitMix64: a 64-bit mixing PRNG, primarily used to expand a single user
+/// seed into independent streams and to hash-combine values.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the library's general-purpose PRNG.  Satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state by expanding `seed` through SplitMix64,
+  /// which guarantees a non-zero state for every seed value.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.  Uses
+  /// rejection sampling (Lemire-style) to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Hash-combines two 64-bit values; used for structural certificates.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace qelect

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it as an aligned text table; this helper keeps the output format
+// uniform across binaries so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qelect {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TextTable(std::string title, std::vector<std::string> columns);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (title, header, separator, rows).
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+std::string format_double(double value, int digits = 2);
+
+}  // namespace qelect

@@ -1,0 +1,95 @@
+#include "qelect/util/math.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect {
+
+std::uint64_t gcd_all(const std::vector<std::uint64_t>& values) {
+  QELECT_CHECK(!values.empty(), "gcd_all requires a non-empty list");
+  std::uint64_t g = 0;
+  for (std::uint64_t v : values) {
+    QELECT_CHECK(v > 0, "gcd_all requires positive values");
+    g = std::gcd(g, v);
+  }
+  return g;
+}
+
+std::vector<ReducePair> agent_reduce_trajectory(std::uint64_t a,
+                                                std::uint64_t b) {
+  QELECT_CHECK(a > 0 && b > 0, "agent_reduce_trajectory requires positive sizes");
+  std::uint64_t s = std::min(a, b);
+  std::uint64_t w = std::max(a, b);
+  std::vector<ReducePair> trajectory{{s, w}};
+  while (s < w) {
+    // One matching round: |S| waiting agents become passive.  The paper's
+    // update rule (Section 3.3.1) keeps the invariant |S'| <= |W'|.
+    if (w - s >= s) {
+      w = w - s;
+    } else {
+      const std::uint64_t new_s = w - s;
+      w = s;
+      s = new_s;
+    }
+    trajectory.push_back({s, w});
+  }
+  return trajectory;
+}
+
+std::size_t agent_reduce_rounds(std::uint64_t a, std::uint64_t b) {
+  return agent_reduce_trajectory(a, b).size() - 1;
+}
+
+std::uint64_t remainder_in_range(std::uint64_t v, std::uint64_t m) {
+  QELECT_CHECK(m > 0, "remainder_in_range requires positive modulus");
+  const std::uint64_t r = v % m;
+  return r == 0 ? m : r;
+}
+
+std::vector<ReducePair> node_reduce_trajectory(std::uint64_t agents,
+                                               std::uint64_t nodes) {
+  QELECT_CHECK(agents > 0 && nodes > 0,
+               "node_reduce_trajectory requires positive sizes");
+  std::uint64_t alpha = agents;  // active agents
+  std::uint64_t beta = nodes;    // selected nodes
+  std::vector<ReducePair> trajectory{{alpha, beta}};
+  while (alpha != beta) {
+    if (alpha > beta) {
+      // Case 1: each node is acquired by q agents; rho agents stay active.
+      alpha = remainder_in_range(alpha, beta);
+    } else {
+      // Case 2: each agent acquires q nodes; rho nodes stay selected.
+      beta = remainder_in_range(beta, alpha);
+    }
+    trajectory.push_back({alpha, beta});
+  }
+  return trajectory;
+}
+
+std::uint64_t fibonacci(unsigned n) {
+  QELECT_CHECK(n <= 90, "fibonacci argument too large for uint64");
+  std::uint64_t a = 0, b = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+std::uint64_t isqrt(std::uint64_t n) {
+  if (n == 0) return 0;
+  std::uint64_t x = n;
+  std::uint64_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  return x;
+}
+
+bool is_power_of_two(std::uint64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace qelect

@@ -1,0 +1,60 @@
+#include "qelect/util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect {
+
+TextTable::TextTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), header_(std::move(columns)) {
+  QELECT_CHECK(!header_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  QELECT_CHECK(cells.size() == header_.size(),
+               "TextTable row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = (header_.size() - 1) * 2;
+  for (std::size_t w : width) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print() const {
+  const std::string rendered = render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace qelect

@@ -1,0 +1,92 @@
+#include "qelect/views/symmetricity.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "qelect/iso/equivalence.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/views/views.hpp"
+
+namespace qelect::views {
+
+std::size_t symmetricity_of_labeling(const graph::Graph& g,
+                                     const graph::Placement& p,
+                                     const graph::EdgeLabeling& l) {
+  const auto classes = view_classes(g, p, l);
+  QELECT_CHECK(!classes.empty(), "symmetricity of an empty graph undefined");
+  const std::size_t size = classes.front().size();
+  for (const auto& c : classes) {
+    // Yamashita-Kameda: all ~view classes of a connected graph have equal
+    // cardinality.  A violation would mean a bug in the view machinery.
+    QELECT_CHECK(c.size() == size,
+                 "view classes of unequal size: YK invariant violated");
+  }
+  return size;
+}
+
+std::vector<std::vector<graph::NodeId>> label_equivalence_classes(
+    const graph::Graph& g, const graph::Placement& p,
+    const graph::EdgeLabeling& l) {
+  const iso::ColoredDigraph d = iso::from_labeled_graph(g, p, l);
+  return iso::equivalence_classes(d).classes;
+}
+
+std::vector<std::uint64_t> label_class_sizes(const graph::Graph& g,
+                                             const graph::Placement& p,
+                                             const graph::EdgeLabeling& l) {
+  std::vector<std::uint64_t> sizes;
+  for (const auto& c : label_equivalence_classes(g, p, l)) {
+    sizes.push_back(c.size());
+  }
+  return sizes;
+}
+
+std::optional<graph::NodeId> yk_quantitative_leader(
+    const graph::Graph& g, const graph::Placement& p,
+    const graph::EdgeLabeling& l) {
+  const auto classes = view_classes(g, p, l);
+  if (classes.size() != g.node_count()) return std::nullopt;  // sigma > 1
+  // Every node has a distinct view.  Views at the distinguishing depth are
+  // already pairwise non-isomorphic (Norris caps the depth at n-1; the
+  // measured depth is usually near the diameter, keeping the explicit
+  // trees small), and their integer encodings give the total order the
+  // quantitative world is allowed to fix a priori.
+  const std::size_t depth = std::max<std::size_t>(
+      1, view_depth_needed(g, p, l));
+  std::optional<graph::NodeId> best;
+  std::vector<std::uint64_t> best_word;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    auto word = encode_view(build_view(g, p, l, v, depth));
+    if (!best.has_value() || word < best_word) {
+      best = v;
+      best_word = std::move(word);
+    }
+  }
+  return best;
+}
+
+std::size_t max_symmetricity_exhaustive(const graph::Graph& g,
+                                        const graph::Placement& p,
+                                        std::size_t alphabet) {
+  std::size_t best = 0;
+  for (const auto& l : graph::enumerate_labelings(g, alphabet)) {
+    best = std::max(best, symmetricity_of_labeling(g, p, l));
+  }
+  QELECT_CHECK(best > 0, "no labelings enumerated");
+  return best;
+}
+
+bool exists_labeling_with_all_classes_nontrivial(const graph::Graph& g,
+                                                 const graph::Placement& p,
+                                                 std::size_t alphabet) {
+  for (const auto& l : graph::enumerate_labelings(g, alphabet)) {
+    const auto sizes = label_class_sizes(g, p, l);
+    const bool all_nontrivial =
+        std::all_of(sizes.begin(), sizes.end(),
+                    [](std::uint64_t s) { return s > 1; });
+    if (all_nontrivial) return true;
+  }
+  return false;
+}
+
+}  // namespace qelect::views

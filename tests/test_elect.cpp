@@ -1,0 +1,187 @@
+// End-to-end tests of the live ELECT protocol: its observable outcome must
+// match the offline oracle (Theorem 3.1) on every instance, under every
+// scheduler policy and seed, and within the O(r |E|) move budget.
+#include <gtest/gtest.h>
+
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+namespace {
+
+using graph::Placement;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::SchedulerPolicy;
+using sim::World;
+
+struct Instance {
+  std::string name;
+  graph::Graph g;
+  Placement p;
+};
+
+std::vector<Instance> standard_instances() {
+  std::vector<Instance> out;
+  out.push_back({"ring5-single", graph::ring(5), Placement(5, {2})});
+  out.push_back({"ring5-adjacent", graph::ring(5), Placement(5, {0, 1})});
+  out.push_back({"ring5-two-black-classes", graph::ring(5),
+                 Placement(5, {0, 1, 3})});
+  out.push_back({"ring6-gcd1", graph::ring(6), Placement(6, {0, 2})});
+  out.push_back({"ring6-antipodal", graph::ring(6), Placement(6, {0, 3})});
+  out.push_back({"ring4-adjacent", graph::ring(4), Placement(4, {0, 1})});
+  out.push_back({"k2-both", graph::complete(2), Placement(2, {0, 1})});
+  out.push_back({"ring5-full", graph::ring(5),
+                 Placement(5, {0, 1, 2, 3, 4})});
+  out.push_back({"cube-antipodal", graph::hypercube(3), Placement(8, {0, 7})});
+  out.push_back({"cube-mixed", graph::hypercube(3), Placement(8, {0, 3, 5})});
+  out.push_back({"petersen-adjacent", graph::petersen(),
+                 Placement(10, {0, 5})});
+  out.push_back({"star-center-leaf", graph::star(4), Placement(5, {0, 1})});
+  out.push_back({"path4-end-pair", graph::path(4), Placement(4, {0, 1})});
+  out.push_back({"torus33-pair", graph::torus({3, 3}), Placement(9, {0, 4})});
+  return out;
+}
+
+void expect_matches_oracle(const Instance& inst, const RunResult& r,
+                           std::uint64_t expected_gcd) {
+  ASSERT_TRUE(r.completed) << inst.name;
+  if (expected_gcd == 1) {
+    EXPECT_TRUE(r.clean_election()) << inst.name;
+  } else {
+    EXPECT_TRUE(r.clean_failure()) << inst.name;
+  }
+}
+
+TEST(Elect, MatchesOracleAcrossInstancesAndSchedulers) {
+  for (const Instance& inst : standard_instances()) {
+    const ProtocolClassPlan plan = protocol_plan(inst.g, inst.p);
+    for (const SchedulerPolicy policy :
+         {SchedulerPolicy::Random, SchedulerPolicy::RoundRobin}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        World w(inst.g, inst.p, /*color_seed=*/seed * 1000 + 7);
+        RunConfig cfg;
+        cfg.policy = policy;
+        cfg.seed = seed;
+        const RunResult r = w.run(make_elect_protocol(), cfg);
+        expect_matches_oracle(inst, r, plan.final_gcd);
+      }
+    }
+  }
+}
+
+TEST(Elect, SingleAgentElectsItselfImmediately) {
+  World w(graph::ring(7), Placement(7, {3}), 5);
+  const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.clean_election());
+  EXPECT_EQ(r.agents[0].status, sim::AgentStatus::Leader);
+}
+
+TEST(Elect, MoveComplexityIsLinearInREdges) {
+  // Theorem 3.1: O(r |E|) moves and board accesses.  Check a generous
+  // constant on a spread of instances (the bench measures the real one).
+  for (const Instance& inst : standard_instances()) {
+    World w(inst.g, inst.p, 99);
+    const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+    ASSERT_TRUE(r.completed) << inst.name;
+    const std::size_t budget =
+        64 * inst.p.agent_count() * inst.g.edge_count() + 64;
+    EXPECT_LE(r.total_moves, budget) << inst.name;
+    EXPECT_LE(r.total_board_accesses, budget) << inst.name;
+  }
+}
+
+TEST(Elect, OutcomeIndependentOfColorSeeds) {
+  // Qualitative soundness: the success/failure outcome cannot depend on
+  // the (hidden, randomized) color tokens.
+  const Instance inst{"ring6-gcd1", graph::ring(6), Placement(6, {0, 2})};
+  for (std::uint64_t color_seed = 1; color_seed <= 8; ++color_seed) {
+    World w(inst.g, inst.p, color_seed);
+    const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.clean_election());
+  }
+  const Instance inst2{"ring6-anti", graph::ring(6), Placement(6, {0, 3})};
+  for (std::uint64_t color_seed = 1; color_seed <= 8; ++color_seed) {
+    World w(inst2.g, inst2.p, color_seed);
+    const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.clean_failure());
+  }
+}
+
+TEST(Elect, AdversarialPortNumberings) {
+  // Definition 1.1: the protocol must behave correctly for every
+  // edge-labeling.  Re-run instances under random port permutations.
+  const std::vector<Instance> insts = {
+      {"ring6-gcd1", graph::ring(6), Placement(6, {0, 2})},
+      {"ring6-anti", graph::ring(6), Placement(6, {0, 3})},
+      {"cube-mixed", graph::hypercube(3), Placement(8, {0, 3, 5})},
+  };
+  for (const Instance& inst : insts) {
+    const std::uint64_t want_gcd = protocol_plan(inst.g, inst.p).final_gcd;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const graph::Graph h =
+          inst.g.permute_ports(graph::random_port_permutations(inst.g, seed));
+      World w(h, inst.p, seed + 100);
+      RunConfig cfg;
+      cfg.seed = seed;
+      const RunResult r = w.run(make_elect_protocol(), cfg);
+      expect_matches_oracle(inst, r, want_gcd);
+    }
+  }
+}
+
+TEST(Elect, LeaderAnnouncementReachesEveryBoard) {
+  const graph::Graph g = graph::ring(6);
+  const Placement p(6, {0, 2});
+  World w(g, p, 17);
+  const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+  ASSERT_TRUE(r.clean_election());
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    const sim::Sign* s = w.board_at(v).find_tag(kTagOutcome);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->payload.front(), kOutcomeLeader);
+  }
+}
+
+TEST(Elect, FailureAnnouncementReachesEveryBoard) {
+  const graph::Graph g = graph::ring(6);
+  const Placement p(6, {0, 3});
+  World w(g, p, 23);
+  const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+  ASSERT_TRUE(r.clean_failure());
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    const sim::Sign* s = w.board_at(v).find_tag(kTagOutcome);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->payload.front(), kOutcomeFailure);
+  }
+}
+
+TEST(Elect, LeaderIsAlwaysAnActualAgent) {
+  const graph::Graph g = graph::hypercube(3);
+  const Placement p(8, {0, 3, 5});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    World w(g, p, seed);
+    RunConfig cfg;
+    cfg.seed = seed;
+    const RunResult r = w.run(make_elect_protocol(), cfg);
+    ASSERT_TRUE(r.clean_election());
+    // The leader every defeated agent names must be the elected one.
+    sim::Color leader;
+    for (const auto& a : r.agents) {
+      if (a.status == sim::AgentStatus::Leader) leader = a.color;
+    }
+    for (const auto& a : r.agents) {
+      if (a.status == sim::AgentStatus::Defeated) {
+        EXPECT_EQ(a.leader_color == leader, true);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qelect::core

@@ -1,0 +1,442 @@
+// Tests for the extension features: gathering on top of ELECT, protocol
+// instrumentation validated against the offline schedule, the canonical
+// search ablation, the quaternion/star-graph families, permutation-group
+// wrapping, the Sabidussi coset quotient, and the coarse-start marking
+// process.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "qelect/cayley/marking.hpp"
+#include "qelect/cayley/recognition.hpp"
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/core/gather.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/group/cayley_graph.hpp"
+#include "qelect/iso/automorphism.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/sim/world.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/math.hpp"
+
+namespace qelect {
+namespace {
+
+using graph::Placement;
+
+// ---------------------------------------------------------------------------
+// Gathering.
+
+TEST(Gather, AllAgentsMeetAtLeaderHome) {
+  struct Inst {
+    graph::Graph g;
+    Placement p;
+  };
+  const std::vector<Inst> insts = {
+      {graph::ring(6), Placement(6, {0, 2})},
+      {graph::hypercube(3), Placement(8, {0, 3, 5})},
+      {graph::torus({3, 3}), Placement(9, {0, 4})},
+  };
+  for (const auto& inst : insts) {
+    ASSERT_EQ(core::protocol_plan(inst.g, inst.p).final_gcd, 1u);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      sim::World w(inst.g, inst.p, seed);
+      sim::RunConfig cfg;
+      cfg.seed = seed;
+      const auto r = w.run(core::make_gather_protocol(), cfg);
+      ASSERT_TRUE(r.completed);
+      EXPECT_TRUE(r.clean_election());
+      // Everyone physically at the leader's home-base.
+      graph::NodeId leader_home = 0;
+      for (std::size_t i = 0; i < r.agents.size(); ++i) {
+        if (r.agents[i].status == sim::AgentStatus::Leader) {
+          leader_home = inst.p.home_bases()[i];
+        }
+      }
+      for (const auto& a : r.agents) {
+        EXPECT_EQ(a.final_position, leader_home);
+      }
+    }
+  }
+}
+
+TEST(Gather, FailureLeavesAgentsAtTheirHomes) {
+  const graph::Graph g = graph::ring(6);
+  const Placement p(6, {0, 3});
+  sim::World w(g, p, 5);
+  const auto r = w.run(core::make_gather_protocol(), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.clean_failure());
+  for (std::size_t i = 0; i < r.agents.size(); ++i) {
+    EXPECT_EQ(r.agents[i].final_position, p.home_bases()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation vs offline schedule.
+
+TEST(ElectTrace, PhaseAndRoundCountsMatchTheory) {
+  // ring5 {0,1}: one black class of size 2; the reduction consumes white
+  // classes; predicted phase count is plan.phases_executed().
+  struct Inst {
+    graph::Graph g;
+    Placement p;
+  };
+  const std::vector<Inst> insts = {
+      {graph::ring(5), Placement(5, {0, 1})},
+      {graph::ring(6), Placement(6, {0, 2})},
+      {graph::ring(6), Placement(6, {0, 3})},
+      {graph::hypercube(3), Placement(8, {0, 7})},
+      {graph::petersen(), Placement(10, {0, 5})},
+  };
+  for (const auto& inst : insts) {
+    const auto plan = core::protocol_plan(inst.g, inst.p);
+    auto trace = std::make_shared<core::ElectTrace>();
+    sim::World w(inst.g, inst.p, 9);
+    const auto r = w.run(core::make_elect_protocol(trace), {});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(trace->max_phase(), plan.phases_executed());
+    EXPECT_EQ(trace->leaders, plan.final_gcd == 1 ? 1u : 0u);
+    if (plan.final_gcd != 1) {
+      EXPECT_EQ(trace->failure_detectors, inst.p.agent_count());
+    }
+    // Matching rounds of each agent-agent phase must follow the Euclid
+    // trajectory of the participating sizes.
+    std::uint64_t d = plan.sizes[0];
+    for (std::size_t j = 1; j <= plan.phases_executed(); ++j) {
+      const std::uint64_t cls = plan.sizes[j];
+      if (j < plan.ell) {
+        const std::size_t expected_rounds = agent_reduce_rounds(d, cls);
+        EXPECT_EQ(trace->rounds_of_phase(j), expected_rounds)
+            << "phase " << j;
+      }
+      d = std::gcd(d, cls);
+    }
+  }
+}
+
+TEST(ElectTrace, MatchAndAcquireAccounting) {
+  // Q3 antipodal pair: one agent-node phase, Case 2 (2 agents, 6 nodes,
+  // q = 2): exactly 4 acquires, no matches.
+  const graph::Graph g = graph::hypercube(3);
+  const Placement p(8, {0, 7});
+  auto trace = std::make_shared<core::ElectTrace>();
+  sim::World w(g, p, 3);
+  const auto r = w.run(core::make_elect_protocol(trace), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(trace->matches_posted, 0u);
+  EXPECT_EQ(trace->acquires_posted, 4u);
+  EXPECT_EQ(trace->activations_posted, 0u);  // ell == 1: nothing to wake
+}
+
+TEST(ElectTrace, ActivationAccounting) {
+  // ring5 {0,1,3}: two black classes ({0,1} and {3}); phase 1 activates
+  // the second class: |D| activators x |C_2| homes.
+  const graph::Graph g = graph::ring(5);
+  const Placement p(5, {0, 1, 3});
+  const auto plan = core::protocol_plan(g, p);
+  ASSERT_EQ(plan.ell, 2u);
+  auto trace = std::make_shared<core::ElectTrace>();
+  sim::World w(g, p, 11);
+  const auto r = w.run(core::make_elect_protocol(trace), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(trace->activations_posted, plan.sizes[0] * plan.sizes[1]);
+}
+
+TEST(Elect, LockstepSchedulerWorksToo) {
+  for (const auto& [g, p] :
+       std::vector<std::pair<graph::Graph, Placement>>{
+           {graph::ring(6), Placement(6, {0, 2})},
+           {graph::ring(6), Placement(6, {0, 3})}}) {
+    const auto plan = core::protocol_plan(g, p);
+    sim::World w(g, p, 13);
+    sim::RunConfig cfg;
+    cfg.policy = sim::SchedulerPolicy::Lockstep;
+    const auto r = w.run(core::make_elect_protocol(), cfg);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.clean_election(), plan.final_gcd == 1);
+  }
+}
+
+TEST(Elect, StepLimitAbortsCleanly) {
+  const graph::Graph g = graph::hypercube(3);
+  const Placement p(8, {0, 3, 5});
+  sim::World w(g, p, 1);
+  sim::RunConfig cfg;
+  cfg.max_steps = 50;  // far too few to finish
+  const auto r = w.run(core::make_elect_protocol(), cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.step_limit);
+  EXPECT_EQ(r.leader_count(), 0u);
+}
+
+TEST(ElectTidy, BoardsEndCleanOnSingleClassInstances) {
+  // With ell == 1 no matching tours run after the announcement, so tidy
+  // leaves exactly home-base marks and outcome signs.
+  struct Inst {
+    graph::Graph g;
+    Placement p;
+  };
+  const std::vector<Inst> insts = {
+      {graph::ring(6), Placement(6, {0, 2})},
+      {graph::ring(6), Placement(6, {0, 3})},
+      {graph::hypercube(3), Placement(8, {0, 7})},
+  };
+  for (const auto& inst : insts) {
+    sim::World w(inst.g, inst.p, 31);
+    const auto r =
+        w.run(core::make_elect_protocol(nullptr, /*tidy=*/true), {});
+    ASSERT_TRUE(r.completed);
+    for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
+      for (const sim::Sign& s : w.board_at(v).signs()) {
+        EXPECT_TRUE(s.tag == sim::kTagHomeBase || s.tag == core::kTagOutcome)
+            << "node " << v << " tag " << s.tag;
+      }
+    }
+  }
+}
+
+TEST(ElectTidy, ResidueIsAtMostLatePassiveAnnouncements) {
+  // In multi-class instances a matched agent's passive-announcement tour
+  // can land after the tidy pass; everything else must be gone.
+  const graph::Graph g = graph::ring(5);
+  const Placement p(5, {0, 1, 3});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::World w(g, p, seed);
+    sim::RunConfig cfg;
+    cfg.seed = seed;
+    const auto r = w.run(core::make_elect_protocol(nullptr, true), cfg);
+    ASSERT_TRUE(r.completed);
+    for (graph::NodeId v = 0; v < 5; ++v) {
+      for (const sim::Sign& s : w.board_at(v).signs()) {
+        EXPECT_TRUE(s.tag == sim::kTagHomeBase ||
+                    s.tag == core::kTagOutcome ||
+                    s.tag == core::kTagPassive)
+            << "node " << v << " tag " << s.tag;
+      }
+    }
+  }
+}
+
+TEST(ElectTidy, OutcomeUnchangedByTidy) {
+  for (const auto& p : {Placement(6, {0, 2}), Placement(6, {0, 3})}) {
+    const graph::Graph g = graph::ring(6);
+    const auto plan = core::protocol_plan(g, p);
+    sim::World w(g, p, 9);
+    const auto r = w.run(core::make_elect_protocol(nullptr, true), {});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.clean_election(), plan.final_gcd == 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical search ablation.
+
+TEST(CanonicalAblation, SameCertificateWithAndWithoutPruning) {
+  for (const graph::Graph& g :
+       {graph::ring(8), graph::complete(6), graph::petersen()}) {
+    const auto d = iso::from_bicolored_graph(
+        g, Placement::empty(g.node_count()));
+    iso::CanonicalOptions off;
+    off.automorphism_pruning = false;
+    const auto with = iso::canonical_form(d);
+    const auto without = iso::canonical_form(d, off);
+    EXPECT_EQ(with.certificate, without.certificate) << g.describe();
+    EXPECT_LE(with.leaves_evaluated, without.leaves_evaluated);
+  }
+}
+
+TEST(CanonicalAblation, PruningCollapsesFactorialBlowup) {
+  const auto d = iso::from_bicolored_graph(graph::complete(6),
+                                           Placement::empty(6));
+  iso::CanonicalOptions off;
+  off.automorphism_pruning = false;
+  EXPECT_EQ(iso::canonical_form(d, off).leaves_evaluated, 720u);  // 6!
+  EXPECT_LT(iso::canonical_form(d).leaves_evaluated, 60u);
+}
+
+// ---------------------------------------------------------------------------
+// New groups and families.
+
+TEST(Quaternion, GroupStructure) {
+  const group::Group q = group::Group::quaternion();
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_FALSE(q.is_abelian());
+  // -1 is central of order 2; i, j, k have order 4.
+  EXPECT_EQ(q.order_of(1), 2u);
+  for (group::Elem e : {2u, 4u, 6u}) EXPECT_EQ(q.order_of(e), 4u);
+  // i * j = k  (ids: i=2, j=4, k=6).
+  EXPECT_EQ(q.op(2, 4), 6u);
+  // j * i = -k.
+  EXPECT_EQ(q.op(4, 2), 7u);
+  // Q_8 has a unique element of order 2 (unlike D_4 which has five).
+  std::size_t involutions = 0;
+  for (group::Elem e = 1; e < 8; ++e) {
+    if (q.order_of(e) == 2) ++involutions;
+  }
+  EXPECT_EQ(involutions, 1u);
+}
+
+TEST(Quaternion, CayleyGraphProperties) {
+  const auto cg = group::cayley_quaternion();
+  EXPECT_EQ(cg.graph.node_count(), 8u);
+  EXPECT_EQ(cg.graph.degree(0), 4u);
+  EXPECT_TRUE(cg.graph.is_connected());
+  const auto rec = cayley::recognize_cayley(cg.graph);
+  EXPECT_TRUE(rec.is_cayley);
+}
+
+TEST(StarGraph, Structure) {
+  const auto st4 = group::cayley_star_graph(4);
+  EXPECT_EQ(st4.graph.node_count(), 24u);
+  EXPECT_EQ(st4.graph.degree(0), 3u);
+  EXPECT_TRUE(st4.graph.is_connected());
+  EXPECT_TRUE(st4.graph.is_regular());
+  // Star graphs are bipartite (transpositions change parity): odd cycles
+  // are absent, so the 2-coloring by permutation parity is proper.
+  const auto dist = st4.graph.bfs_distances(0);
+  for (const graph::Edge& e : st4.graph.edges()) {
+    EXPECT_NE(dist[e.u] % 2, dist[e.v] % 2);
+  }
+}
+
+TEST(SymmetricRank, RoundTripsAndMatchesGroup) {
+  const unsigned k = 4;
+  const group::Group s4 = group::Group::symmetric(k);
+  for (group::Elem e = 0; e < s4.size(); ++e) {
+    const auto perm = group::symmetric_unrank(k, e);
+    EXPECT_EQ(group::symmetric_rank(k, perm), e);
+  }
+  // rank of identity is 0.
+  EXPECT_EQ(group::symmetric_rank(4, {0, 1, 2, 3}), 0u);
+  // Composition through ranks agrees with the group op.
+  const auto pa = group::symmetric_unrank(k, 5);
+  const auto pb = group::symmetric_unrank(k, 17);
+  std::vector<std::uint8_t> pc(k);
+  for (unsigned i = 0; i < k; ++i) pc[i] = pa[pb[i]];
+  EXPECT_EQ(group::symmetric_rank(k, pc), s4.op(5, 17));
+}
+
+TEST(PermutationGroup, WrapsClosedSets) {
+  // All 6 permutations of 3 points = S_3.
+  std::vector<std::vector<std::uint32_t>> perms = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  const auto pg = group::group_from_permutations(perms);
+  EXPECT_EQ(pg.group.size(), 6u);
+  EXPECT_FALSE(pg.group.is_abelian());
+  // members[0] is the identity.
+  EXPECT_EQ(pg.members[0], (std::vector<std::uint32_t>{0, 1, 2}));
+  // Non-closed set rejected.
+  EXPECT_THROW(group::group_from_permutations(
+                   {{0, 1, 2}, {1, 2, 0}}),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Sabidussi quotient.
+
+TEST(CosetQuotient, RingModuloSubgroupIsSmallerRing) {
+  // Z_6 / {0, 3} with connectors {1, 5} -> triangle C_3.
+  const group::Group z6 = group::Group::cyclic(6);
+  const graph::Graph q = group::coset_quotient(z6, {0, 3}, {1, 5});
+  EXPECT_EQ(q.node_count(), 3u);
+  EXPECT_EQ(q.edge_count(), 3u);
+  EXPECT_TRUE(q.is_connected());
+}
+
+TEST(CosetQuotient, RejectsNonSubgroup) {
+  const group::Group z6 = group::Group::cyclic(6);
+  EXPECT_THROW(group::coset_quotient(z6, {0, 2}, {1}), CheckError);
+}
+
+TEST(CosetQuotient, PetersenIsAQuotientOfItsAutomorphismCayleyGraph) {
+  // Sabidussi: G = Cay(Aut(G), S) / stab(u0).  The paper closes Section 4
+  // with exactly this observation for the Petersen graph.
+  const graph::Graph petersen = graph::petersen();
+  const auto autos = iso::all_automorphisms(iso::from_bicolored_graph(
+      petersen, Placement::empty(10)));
+  ASSERT_TRUE(autos.has_value());
+  ASSERT_EQ(autos->size(), 120u);
+  const auto pg = group::group_from_permutations(*autos);
+
+  std::vector<group::Elem> stabilizer, connectors;
+  std::set<graph::NodeId> neighbors;
+  for (const graph::HalfEdge& h : petersen.ports(0)) neighbors.insert(h.to);
+  for (group::Elem e = 0; e < pg.group.size(); ++e) {
+    const graph::NodeId image = pg.members[e][0];
+    if (image == 0) stabilizer.push_back(e);
+    if (neighbors.count(image)) connectors.push_back(e);
+  }
+  EXPECT_EQ(stabilizer.size(), 12u);   // |Aut| / n = 120 / 10
+  EXPECT_EQ(connectors.size(), 36u);   // 3 neighbors x |stab|
+
+  const graph::Graph quotient =
+      group::coset_quotient(pg.group, stabilizer, connectors);
+  ASSERT_EQ(quotient.node_count(), 10u);
+  const auto a = iso::canonical_certificate(iso::from_bicolored_graph(
+      quotient, Placement::empty(10)));
+  const auto b = iso::canonical_certificate(iso::from_bicolored_graph(
+      petersen, Placement::empty(10)));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Coarse-start marking.
+
+TEST(MarkingCoarse, RingAntipodalSplitsToTranslationClasses) {
+  // ~ classes of (C_6, {0,3}) are {0,3} and {1,2,4,5}: sizes 2 and 4.  The
+  // coarse-start process must actually iterate (>= 1 split) and land on
+  // classes of size gcd(2, 4) = 2.
+  const auto cg = group::cayley_ring(6);
+  const Placement p(6, {0, 3});
+  const auto res = cayley::theorem41_marking(
+      cg, p, cayley::MarkingStart::EquivalenceClasses);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GE(res.steps.size(), 1u);
+  EXPECT_EQ(res.final_class_size, 2u);
+  EXPECT_EQ(res.final_classes.size(), 3u);
+}
+
+TEST(MarkingCoarse, StrictModeNeverIterates) {
+  // The documented finding: translation classes are orbits of a free
+  // action, so the paper's process never enters its loop.
+  for (const auto& agents :
+       std::vector<std::vector<graph::NodeId>>{{0}, {0, 3}, {0, 2, 4}}) {
+    const auto cg = group::cayley_ring(6);
+    const Placement p(6, agents);
+    const auto res = cayley::theorem41_marking(cg, p);
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(res.steps.empty());
+  }
+}
+
+TEST(MarkingCoarse, SweepPreservesGcdInvariant) {
+  // Across a sweep, completed coarse runs end at gcd(initial ~ sizes); the
+  // gcd invariant itself is CHECKed inside the implementation each step.
+  struct Inst {
+    group::CayleyGraph cg;
+    std::vector<graph::NodeId> agents;
+  };
+  const std::vector<Inst> insts = {
+      {group::cayley_ring(6), {0, 3}},
+      {group::cayley_ring(8), {0, 4}},
+      {group::cayley_ring(8), {0, 2, 4, 6}},
+      {group::cayley_hypercube(3), {0, 7}},
+      {group::cayley_torus(3, 3), {0}},
+  };
+  for (const auto& inst : insts) {
+    const Placement p(inst.cg.graph.node_count(), inst.agents);
+    const auto plan = core::protocol_plan(inst.cg.graph, p);
+    const auto res = cayley::theorem41_marking(
+        inst.cg, p, cayley::MarkingStart::EquivalenceClasses);
+    if (res.completed) {
+      EXPECT_EQ(res.final_class_size, plan.final_gcd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qelect

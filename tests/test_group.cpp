@@ -1,0 +1,189 @@
+// Unit tests for the group module: group axioms across implementations,
+// generating sets, and Cayley graph construction (Definition 1.2).
+#include <gtest/gtest.h>
+
+#include "qelect/group/cayley_graph.hpp"
+#include "qelect/group/group.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::group {
+namespace {
+
+void expect_group_axioms(const Group& g) {
+  const std::size_t n = g.size();
+  ASSERT_GE(n, 1u);
+  // Identity.
+  for (Elem a = 0; a < n; ++a) {
+    EXPECT_EQ(g.op(0, a), a);
+    EXPECT_EQ(g.op(a, 0), a);
+  }
+  // Inverses.
+  for (Elem a = 0; a < n; ++a) {
+    EXPECT_EQ(g.op(a, g.inverse(a)), 0u);
+    EXPECT_EQ(g.op(g.inverse(a), a), 0u);
+  }
+  // Associativity (sampled for big groups, exhaustive for small).
+  const Elem stride = n > 24 ? 5 : 1;
+  for (Elem a = 0; a < n; a += stride) {
+    for (Elem b = 0; b < n; b += stride) {
+      for (Elem c = 0; c < n; c += stride) {
+        EXPECT_EQ(g.op(g.op(a, b), c), g.op(a, g.op(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Group, CyclicAxioms) { expect_group_axioms(Group::cyclic(12)); }
+TEST(Group, DihedralAxioms) { expect_group_axioms(Group::dihedral(6)); }
+TEST(Group, SymmetricAxioms) { expect_group_axioms(Group::symmetric(4)); }
+TEST(Group, ProductAxioms) {
+  expect_group_axioms(
+      Group::direct_product(Group::cyclic(3), Group::dihedral(4)));
+}
+TEST(Group, BooleanCubeAxioms) { expect_group_axioms(Group::boolean_cube(4)); }
+
+TEST(Group, OrdersAndAbelian) {
+  const Group z6 = Group::cyclic(6);
+  EXPECT_EQ(z6.order_of(1), 6u);
+  EXPECT_EQ(z6.order_of(2), 3u);
+  EXPECT_EQ(z6.order_of(3), 2u);
+  EXPECT_TRUE(z6.is_abelian());
+  const Group d4 = Group::dihedral(4);
+  EXPECT_FALSE(d4.is_abelian());
+  EXPECT_EQ(d4.size(), 8u);
+  // Every reflection (odd ids) is an involution.
+  for (Elem a = 1; a < d4.size(); a += 2) EXPECT_EQ(d4.order_of(a), 2u);
+  const Group s4 = Group::symmetric(4);
+  EXPECT_EQ(s4.size(), 24u);
+  EXPECT_FALSE(s4.is_abelian());
+  EXPECT_TRUE(Group::boolean_cube(5).is_abelian());
+}
+
+TEST(Group, SymmetricInverseRoundTrip) {
+  const Group s5 = Group::symmetric(5);
+  for (Elem a = 0; a < s5.size(); a += 7) {
+    EXPECT_EQ(s5.op(a, s5.inverse(a)), 0u);
+  }
+}
+
+TEST(Group, GeneratedSubgroup) {
+  const Group z12 = Group::cyclic(12);
+  EXPECT_EQ(z12.generated_subgroup({4}).size(), 3u);
+  EXPECT_EQ(z12.generated_subgroup({4, 6}).size(), 6u);
+  EXPECT_TRUE(z12.generates({1}));
+  EXPECT_FALSE(z12.generates({4, 6}));
+}
+
+TEST(Group, FromTableValidates) {
+  // Z_2 table is fine.
+  EXPECT_NO_THROW(Group::from_table({{0, 1}, {1, 0}}));
+  // Identity not at 0.
+  EXPECT_THROW(Group::from_table({{1, 0}, {0, 1}}), CheckError);
+  // Non-associative magma.
+  EXPECT_THROW(Group::from_table({{0, 1, 2},
+                                  {1, 0, 0},
+                                  {2, 0, 1}}),
+               CheckError);
+}
+
+TEST(GeneratingSet, ValidationRules) {
+  const Group z6 = Group::cyclic(6);
+  EXPECT_NO_THROW(GeneratingSet(z6, {1, 5}));
+  EXPECT_THROW(GeneratingSet(z6, {1}), CheckError);        // not symmetric
+  EXPECT_THROW(GeneratingSet(z6, {0, 1, 5}), CheckError);  // identity inside
+  EXPECT_THROW(GeneratingSet(z6, {2, 4}), CheckError);     // not generating
+  const GeneratingSet s = GeneratingSet::symmetrized(z6, {1});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.inverse_index(0), 1u);
+  EXPECT_EQ(s.inverse_index(1), 0u);
+}
+
+TEST(GeneratingSet, InvolutionIsItsOwnInverse) {
+  const Group z6 = Group::cyclic(6);
+  const GeneratingSet s = GeneratingSet::symmetrized(z6, {3, 1});
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Elem e = s.elements()[i];
+    const Elem inv = s.elements()[s.inverse_index(i)];
+    EXPECT_EQ(z6.op(e, inv), 0u);
+  }
+}
+
+TEST(CayleyGraph, RingMatchesDefinition) {
+  const CayleyGraph cg = cayley_ring(7);
+  EXPECT_EQ(cg.graph.node_count(), 7u);
+  EXPECT_EQ(cg.graph.edge_count(), 7u);
+  EXPECT_TRUE(cg.graph.is_regular());
+  EXPECT_TRUE(cg.graph.is_connected());
+  // Port i of node a leads to a * s_i.
+  for (graph::NodeId a = 0; a < 7; ++a) {
+    for (graph::PortId i = 0; i < cg.gens.size(); ++i) {
+      EXPECT_EQ(cg.graph.peer(a, i).to,
+                cg.gamma.op(a, cg.gens.elements()[i]));
+    }
+  }
+}
+
+TEST(CayleyGraph, HypercubeMatchesFamily) {
+  const CayleyGraph cg = cayley_hypercube(3);
+  EXPECT_EQ(cg.graph.node_count(), 8u);
+  EXPECT_EQ(cg.graph.edge_count(), 12u);
+  for (graph::NodeId a = 0; a < 8; ++a) {
+    for (graph::PortId i = 0; i < 3; ++i) {
+      EXPECT_EQ(cg.graph.peer(a, i).to, a ^ cg.gens.elements()[i]);
+    }
+  }
+}
+
+TEST(CayleyGraph, CompleteAndTorusAndDihedral) {
+  EXPECT_EQ(cayley_complete(5).graph.edge_count(), 10u);
+  const CayleyGraph t = cayley_torus(3, 4);
+  EXPECT_EQ(t.graph.node_count(), 12u);
+  EXPECT_EQ(t.graph.degree(0), 4u);
+  const CayleyGraph d = cayley_dihedral(4);
+  EXPECT_EQ(d.graph.node_count(), 8u);
+  EXPECT_EQ(d.graph.degree(0), 3u);  // r, r^-1, f
+  EXPECT_TRUE(d.graph.is_connected());
+}
+
+TEST(CayleyGraph, TranslationsPreserveNaturalLabeling) {
+  // The crux of Theorem 4.1's proof: left translations preserve the
+  // right-generator labeling.
+  const CayleyGraph cg = cayley_torus(3, 3);
+  const auto l = cg.natural_labeling();
+  for (Elem gmm = 0; gmm < cg.gamma.size(); ++gmm) {
+    const auto phi = cg.translation(gmm);
+    for (graph::NodeId x = 0; x < cg.graph.node_count(); ++x) {
+      for (graph::PortId p = 0; p < cg.graph.degree(x); ++p) {
+        const graph::HalfEdge& h = cg.graph.peer(x, p);
+        // The edge (x, p) maps to an edge at phi(x) with the same label:
+        // find the port of phi(x) leading to phi(h.to) and compare labels.
+        bool found = false;
+        for (graph::PortId q = 0; q < cg.graph.degree(phi[x]); ++q) {
+          if (cg.graph.peer(phi[x], q).to == phi[h.to] &&
+              l.at(phi[x], q) == l.at(x, p)) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST(CayleyGraph, TranslationsAreSharplyTransitive) {
+  const CayleyGraph cg = cayley_ring(6);
+  const auto all = cg.all_translations();
+  EXPECT_EQ(all.size(), 6u);
+  // Exactly one translation maps 0 to each v.
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    std::size_t count = 0;
+    for (const auto& phi : all) {
+      if (phi[0] == v) ++count;
+    }
+    EXPECT_EQ(count, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace qelect::group

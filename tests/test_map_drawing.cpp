@@ -1,0 +1,246 @@
+// Tests for MAP-DRAWING: the map must be isomorphic to the real network,
+// carry the right home-base annotations, cost O(|E|) moves, and agree
+// across agents and adversarial port numberings.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qelect/core/agent_map.hpp"
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+namespace {
+
+using sim::AgentCtx;
+using sim::Behavior;
+using sim::RunConfig;
+using sim::World;
+
+/// Runs map_drawing for every agent and collects the maps.
+std::vector<AgentMap> draw_maps(const graph::Graph& g,
+                                const graph::Placement& p,
+                                std::uint64_t seed = 17,
+                                sim::RunResult* stats = nullptr) {
+  World w(g, p, seed);
+  auto maps = std::make_shared<std::vector<AgentMap>>();
+  RunConfig cfg;
+  cfg.seed = seed;
+  const sim::RunResult r = w.run(
+      [maps](AgentCtx& ctx) -> Behavior {
+        AgentMap m = co_await map_drawing(ctx);
+        maps->push_back(std::move(m));
+        ctx.declare_failure_detected();  // irrelevant terminal state
+      },
+      cfg);
+  EXPECT_TRUE(r.completed);
+  if (stats) *stats = r;
+  return std::move(*maps);
+}
+
+iso::Certificate bicolored_cert(const graph::Graph& g,
+                                const graph::Placement& p) {
+  return iso::canonical_certificate(iso::from_bicolored_graph(g, p));
+}
+
+TEST(MapDrawing, SingleAgentRingMapIsIsomorphic) {
+  const graph::Graph g = graph::ring(7);
+  const graph::Placement p(7, {3});
+  const auto maps = draw_maps(g, p);
+  ASSERT_EQ(maps.size(), 1u);
+  const AgentMap& m = maps[0];
+  EXPECT_EQ(m.graph.node_count(), 7u);
+  EXPECT_EQ(m.graph.edge_count(), 7u);
+  EXPECT_EQ(m.agent_count(), 1u);
+  EXPECT_TRUE(m.base_color[0].has_value());  // map node 0 = own home-base
+  EXPECT_EQ(bicolored_cert(m.graph, m.placement()), bicolored_cert(g, p));
+}
+
+TEST(MapDrawing, MultiAgentMapsAgree) {
+  const graph::Graph g = graph::hypercube(3);
+  const graph::Placement p(8, {0, 3, 5});
+  const auto maps = draw_maps(g, p);
+  ASSERT_EQ(maps.size(), 3u);
+  const auto want = bicolored_cert(g, p);
+  for (const AgentMap& m : maps) {
+    EXPECT_EQ(m.graph.node_count(), 8u);
+    EXPECT_EQ(m.agent_count(), 3u);
+    EXPECT_EQ(bicolored_cert(m.graph, m.placement()), want);
+  }
+}
+
+TEST(MapDrawing, ColorsMatchWorld) {
+  const graph::Graph g = graph::ring(5);
+  const graph::Placement p(5, {0, 2});
+  World w(g, p, 29);
+  const auto world_colors = w.agent_colors();
+  auto maps = std::make_shared<std::vector<AgentMap>>();
+  const auto r = w.run(
+      [maps](AgentCtx& ctx) -> Behavior {
+        maps->push_back(co_await map_drawing(ctx));
+        ctx.declare_failure_detected();
+      },
+      RunConfig{});
+  EXPECT_TRUE(r.completed);
+  for (const AgentMap& m : *maps) {
+    // Every world color appears exactly once among the base colors.
+    for (const auto& c : world_colors) {
+      std::size_t count = 0;
+      for (const auto& bc : m.base_color) {
+        if (bc.has_value() && *bc == c) ++count;
+      }
+      EXPECT_EQ(count, 1u);
+    }
+  }
+}
+
+TEST(MapDrawing, WorksOnMultigraphWithLoops) {
+  const auto ex = graph::figure2c();
+  const graph::Placement p(3, {0});
+  const auto maps = draw_maps(ex.graph, p);
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].graph.node_count(), 3u);
+  EXPECT_EQ(maps[0].graph.edge_count(), 6u);
+  EXPECT_EQ(bicolored_cert(maps[0].graph, maps[0].placement()),
+            bicolored_cert(ex.graph, p));
+}
+
+TEST(MapDrawing, MoveCostLinearInEdges) {
+  const graph::Graph g = graph::torus({4, 4});
+  const graph::Placement p(16, {0});
+  sim::RunResult stats;
+  draw_maps(g, p, 3, &stats);
+  // Each edge probed at most once per side, two moves per probe.
+  EXPECT_LE(stats.total_moves, 4 * g.edge_count());
+}
+
+TEST(MapDrawing, InvariantUnderPortPermutations) {
+  const graph::Graph g = graph::petersen();
+  const graph::Placement p(10, {0, 1});
+  const auto want = bicolored_cert(g, p);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const graph::Graph h =
+        g.permute_ports(graph::random_port_permutations(g, seed));
+    const auto maps = draw_maps(h, p, seed);
+    for (const AgentMap& m : maps) {
+      EXPECT_EQ(bicolored_cert(m.graph, m.placement()), want);
+    }
+  }
+}
+
+TEST(MapDrawing, ConcurrentAgentsDoNotInterfere) {
+  // Many agents drawing simultaneously under a random scheduler; every map
+  // must still be perfect.
+  const graph::Graph g = graph::cube_connected_cycles(3);
+  graph::Placement p(24, {0, 5, 11, 17, 23});
+  const auto want = bicolored_cert(g, p);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto maps = draw_maps(g, p, seed);
+    ASSERT_EQ(maps.size(), 5u);
+    for (const AgentMap& m : maps) {
+      EXPECT_EQ(bicolored_cert(m.graph, m.placement()), want);
+    }
+  }
+}
+
+TEST(MapDrawingBfs, ProducesIsomorphicMaps) {
+  for (const graph::Graph& g :
+       {graph::ring(7), graph::hypercube(3), graph::petersen(),
+        graph::figure2c().graph, graph::random_connected(10, 0.3, 4)}) {
+    const graph::Placement p(g.node_count(), {0});
+    const auto want = bicolored_cert(g, p);
+    World w(g, p, 21);
+    auto maps = std::make_shared<std::vector<AgentMap>>();
+    const auto r = w.run(
+        [maps](AgentCtx& ctx) -> Behavior {
+          maps->push_back(co_await map_drawing_bfs(ctx));
+          ctx.declare_failure_detected();
+        },
+        RunConfig{});
+    ASSERT_TRUE(r.completed) << g.describe();
+    EXPECT_EQ(bicolored_cert((*maps)[0].graph, (*maps)[0].placement()), want)
+        << g.describe();
+    // BFS order: map node indices are sorted by tree depth, i.e. BFS layer
+    // indices are non-decreasing in discovery order.
+    const auto dist = (*maps)[0].graph.bfs_distances(0);
+    for (std::size_t v = 1; v < dist.size(); ++v) {
+      EXPECT_GE(dist[v], dist[v - 1] - 1);
+    }
+  }
+}
+
+TEST(MapDrawingBfs, CostExceedsDfsOnLargeGraphs) {
+  // The ablation claim: DFS O(|E|) vs BFS O(n |E|)-ish.
+  const graph::Graph g = graph::torus({5, 5});
+  const graph::Placement p(25, {0});
+  auto run_with = [&](bool bfs) {
+    World w(g, p, 13);
+    sim::RunResult out;
+    const auto r = w.run(
+        [bfs](AgentCtx& ctx) -> Behavior {
+          if (bfs) {
+            co_await map_drawing_bfs(ctx);
+          } else {
+            co_await map_drawing(ctx);
+          }
+          ctx.declare_failure_detected();
+        },
+        RunConfig{});
+    EXPECT_TRUE(r.completed);
+    return r.total_moves;
+  };
+  const std::size_t dfs_moves = run_with(false);
+  const std::size_t bfs_moves = run_with(true);
+  EXPECT_LE(dfs_moves, 4 * g.edge_count());
+  EXPECT_GT(bfs_moves, dfs_moves);
+}
+
+TEST(AgentMapHelpers, RouteIsShortestAndValid) {
+  const graph::Graph g = graph::torus({3, 5});
+  const auto dist = g.bfs_distances(0);
+  for (graph::NodeId t = 0; t < g.node_count(); ++t) {
+    const auto ports = route(g, 0, t);
+    EXPECT_EQ(ports.size(), static_cast<std::size_t>(dist[t]));
+    graph::NodeId cursor = 0;
+    for (graph::PortId p : ports) cursor = g.peer(cursor, p).to;
+    EXPECT_EQ(cursor, t);
+  }
+}
+
+TEST(AgentMapHelpers, TourVisitsEverythingAndReturns) {
+  const graph::Graph g = graph::random_connected(15, 0.25, 5);
+  std::vector<graph::NodeId> order;
+  const auto ports = tour_ports(g, 2, &order);
+  EXPECT_EQ(ports.size(), order.size());
+  std::vector<bool> seen(g.node_count(), false);
+  seen[2] = true;
+  graph::NodeId cursor = 2;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    cursor = g.peer(cursor, ports[i]).to;
+    EXPECT_EQ(cursor, order[i]);
+    seen[cursor] = true;
+  }
+  EXPECT_EQ(cursor, 2u);  // tour returns to start
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_LE(ports.size(), 2 * (g.node_count() - 1));
+}
+
+TEST(AgentMapHelpers, PlacementFromMap) {
+  AgentMap m;
+  m.graph = graph::ring(4);
+  m.base_color.assign(4, std::nullopt);
+  sim::ColorUniverse u(1);
+  m.base_color[0] = u.mint();
+  m.base_color[2] = u.mint();
+  m.base_id.assign(4, std::nullopt);
+  EXPECT_EQ(m.agent_count(), 2u);
+  EXPECT_EQ(m.home_base_nodes(), (std::vector<graph::NodeId>{0, 2}));
+  EXPECT_TRUE(m.placement().is_home_base(2));
+}
+
+}  // namespace
+}  // namespace qelect::core

@@ -1,0 +1,116 @@
+// Tests for the Petersen counterexample protocol (Section 4): it must
+// elect on exactly the instances ELECT gives up on, across schedulers,
+// seeds, and adversarial port numberings.
+#include <gtest/gtest.h>
+
+#include "qelect/util/assert.hpp"
+
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/core/petersen.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/sim/world.hpp"
+
+namespace qelect::core {
+namespace {
+
+using graph::Placement;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::World;
+
+TEST(Petersen, ElectsOnAdjacentPair) {
+  const graph::Graph g = graph::petersen();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    World w(g, Placement(10, {0, 5}), seed);
+    RunConfig cfg;
+    cfg.seed = seed;
+    const RunResult r = w.run(make_petersen_protocol(), cfg);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.clean_election());
+  }
+}
+
+TEST(Petersen, WorksForEveryAdjacentPlacement) {
+  const graph::Graph g = graph::petersen();
+  for (const graph::Edge& e : g.edges()) {
+    World w(g, Placement(10, {e.u, e.v}), 7);
+    const RunResult r = w.run(make_petersen_protocol(), RunConfig{});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.clean_election());
+  }
+}
+
+TEST(Petersen, RobustToPortPermutations) {
+  const graph::Graph g = graph::petersen();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const graph::Graph h =
+        g.permute_ports(graph::random_port_permutations(g, seed));
+    World w(h, Placement(10, {0, 5}), seed + 11);
+    const RunResult r = w.run(make_petersen_protocol(), RunConfig{});
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.clean_election());
+  }
+}
+
+TEST(Petersen, LockstepSchedulerStillElects) {
+  // Even the synchronous adversary cannot prevent the acquire race from
+  // crowning exactly one winner (mutual exclusion serializes the boards).
+  World w(graph::petersen(), Placement(10, {1, 6}), 3);
+  RunConfig cfg;
+  cfg.policy = sim::SchedulerPolicy::Lockstep;
+  const RunResult r = w.run(make_petersen_protocol(), cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.clean_election());
+}
+
+TEST(Petersen, ElectWouldHaveFailedHere) {
+  // The same instance through ELECT: classes (2, 4, 4), gcd 2 => failure
+  // report, demonstrating ELECT's non-effectualness outside Cayley graphs.
+  const graph::Graph g = graph::petersen();
+  const Placement p(10, {0, 5});
+  EXPECT_EQ(protocol_plan(g, p).final_gcd, 2u);
+  World w(g, p, 5);
+  const RunResult r = w.run(make_elect_protocol(), RunConfig{});
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.clean_failure());
+}
+
+TEST(Petersen, RejectsNonAdjacentPlacement) {
+  // Outer nodes 0 and 2 are non-adjacent.
+  World w(graph::petersen(), Placement(10, {0, 2}), 1);
+  EXPECT_THROW(w.run(make_petersen_protocol(), RunConfig{}), qelect::CheckError);
+}
+
+TEST(Petersen, RejectsWrongGraph) {
+  World w(graph::ring(10), Placement(10, {0, 1}), 1);
+  EXPECT_THROW(w.run(make_petersen_protocol(), RunConfig{}), qelect::CheckError);
+}
+
+TEST(Petersen, MarksLandOnDistinctNonAdjacentNodes) {
+  // Structural invariant behind step 4 (girth 5): run and inspect boards.
+  const graph::Graph g = graph::petersen();
+  World w(g, Placement(10, {0, 5}), 13);
+  const RunResult r = w.run(make_petersen_protocol(), RunConfig{});
+  ASSERT_TRUE(r.clean_election());
+  std::vector<graph::NodeId> marked;
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    if (w.board_at(v).find_tag(kTagPetersenMark) != nullptr) {
+      marked.push_back(v);
+    }
+  }
+  ASSERT_EQ(marked.size(), 2u);
+  // Marked nodes are non-adjacent.
+  for (graph::PortId p = 0; p < 3; ++p) {
+    EXPECT_NE(g.peer(marked[0], p).to, marked[1]);
+  }
+  // Exactly one winner sign exists, on the common neighbor.
+  std::size_t winner_boards = 0;
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    winner_boards += w.board_at(v).count_tag(kTagPetersenWin);
+  }
+  EXPECT_EQ(winner_boards, 1u);
+}
+
+}  // namespace
+}  // namespace qelect::core

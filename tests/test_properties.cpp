@@ -1,0 +1,256 @@
+// Property-based suites (parameterized sweeps): randomized instances, every
+// invariant cross-checked between the live protocols and the offline
+// oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/core/map_drawing.hpp"
+#include "qelect/core/surrounding.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/iso/automorphism.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/equivalence.hpp"
+#include "qelect/sim/world.hpp"
+#include "qelect/util/math.hpp"
+#include "qelect/util/rng.hpp"
+
+namespace qelect {
+namespace {
+
+using graph::Placement;
+
+// ---------------------------------------------------------------------------
+// Random (G, p) instances: n nodes, r agents, seeded.
+
+struct RandomInstanceParam {
+  std::size_t n;
+  std::size_t r;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const RandomInstanceParam& p) {
+  return os << "n" << p.n << "_r" << p.r << "_s" << p.seed;
+}
+
+class RandomInstanceProperty
+    : public ::testing::TestWithParam<RandomInstanceParam> {
+ protected:
+  graph::Graph make_graph() const {
+    const auto& param = GetParam();
+    return graph::random_connected(param.n, 0.3, param.seed);
+  }
+  Placement make_placement(const graph::Graph& g) const {
+    const auto& param = GetParam();
+    return graph::random_placement(g.node_count(), param.r,
+                                   param.seed ^ 0xabcdefULL);
+  }
+};
+
+TEST_P(RandomInstanceProperty, ElectMatchesOracle) {
+  const graph::Graph g = make_graph();
+  const Placement p = make_placement(g);
+  const auto plan = core::protocol_plan(g, p);
+  sim::World w(g, p, GetParam().seed + 1);
+  sim::RunConfig cfg;
+  cfg.seed = GetParam().seed + 2;
+  const sim::RunResult r = w.run(core::make_elect_protocol(), cfg);
+  ASSERT_TRUE(r.completed);
+  if (plan.final_gcd == 1) {
+    EXPECT_TRUE(r.clean_election());
+  } else {
+    EXPECT_TRUE(r.clean_failure());
+  }
+  // Never more than one leader, whatever happens.
+  EXPECT_LE(r.leader_count(), 1u);
+  // Theorem 3.1 move budget with a generous constant.
+  EXPECT_LE(r.total_moves,
+            64 * p.agent_count() * g.edge_count() + 64);
+}
+
+TEST_P(RandomInstanceProperty, MapsAreFaithful) {
+  const graph::Graph g = make_graph();
+  const Placement p = make_placement(g);
+  sim::World w(g, p, GetParam().seed + 5);
+  auto maps = std::make_shared<std::vector<core::AgentMap>>();
+  const auto r = w.run(
+      [maps](sim::AgentCtx& ctx) -> sim::Behavior {
+        maps->push_back(co_await core::map_drawing(ctx));
+        ctx.declare_failure_detected();
+      },
+      sim::RunConfig{});
+  ASSERT_TRUE(r.completed);
+  const auto want =
+      iso::canonical_certificate(iso::from_bicolored_graph(g, p));
+  for (const auto& m : *maps) {
+    EXPECT_EQ(iso::canonical_certificate(
+                  iso::from_bicolored_graph(m.graph, m.placement())),
+              want);
+  }
+}
+
+TEST_P(RandomInstanceProperty, SurroundingClassesMatchOrbitClasses) {
+  const graph::Graph g = make_graph();
+  const Placement p = make_placement(g);
+  auto a = core::surrounding_classes(g, p).classes;
+  auto b = iso::equivalence_classes(iso::from_bicolored_graph(g, p)).classes;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(RandomInstanceProperty, CanonicalCertificateRelabelingInvariant) {
+  const graph::Graph g = make_graph();
+  const Placement p = make_placement(g);
+  const auto d = iso::from_bicolored_graph(g, p);
+  const auto base = iso::canonical_certificate(d);
+  const auto sigma =
+      graph::random_node_permutation(g.node_count(), GetParam().seed + 9);
+  const auto relabeled = iso::from_bicolored_graph(g.relabel_nodes(sigma),
+                                                   p.relabel(sigma));
+  EXPECT_EQ(iso::canonical_certificate(relabeled), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomInstanceProperty,
+    ::testing::Values(
+        RandomInstanceParam{8, 1, 11}, RandomInstanceParam{8, 2, 12},
+        RandomInstanceParam{8, 3, 13}, RandomInstanceParam{8, 8, 14},
+        RandomInstanceParam{10, 2, 21}, RandomInstanceParam{10, 4, 22},
+        RandomInstanceParam{10, 7, 23}, RandomInstanceParam{12, 3, 31},
+        RandomInstanceParam{12, 5, 32}, RandomInstanceParam{12, 12, 33},
+        RandomInstanceParam{14, 4, 41}, RandomInstanceParam{14, 9, 42}),
+    [](const auto& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+// ---------------------------------------------------------------------------
+// Structured instances: the Cayley families under many scheduler seeds.
+
+struct ScheduledParam {
+  std::size_t family;  // 0 = ring6{0,2}, 1 = ring6{0,3}, 2 = cube{0,3,5}
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const ScheduledParam& p) {
+  return os << "f" << p.family << "_s" << p.seed;
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<ScheduledParam> {};
+
+TEST_P(SchedulerSweep, OutcomeIsSchedulerIndependent) {
+  const auto& param = GetParam();
+  graph::Graph g = param.family == 2 ? graph::hypercube(3) : graph::ring(6);
+  const Placement p = param.family == 0   ? Placement(6, {0, 2})
+                      : param.family == 1 ? Placement(6, {0, 3})
+                                          : Placement(8, {0, 3, 5});
+  const std::uint64_t want_gcd = core::protocol_plan(g, p).final_gcd;
+  sim::World w(std::move(g), p, param.seed * 3 + 1);
+  sim::RunConfig cfg;
+  cfg.seed = param.seed;
+  const auto r = w.run(core::make_elect_protocol(), cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.clean_election(), want_gcd == 1);
+  EXPECT_EQ(r.clean_failure(), want_gcd != 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedulerSweep,
+    ::testing::Values(ScheduledParam{0, 1}, ScheduledParam{0, 2},
+                      ScheduledParam{0, 3}, ScheduledParam{0, 4},
+                      ScheduledParam{1, 1}, ScheduledParam{1, 2},
+                      ScheduledParam{1, 3}, ScheduledParam{1, 4},
+                      ScheduledParam{2, 1}, ScheduledParam{2, 2},
+                      ScheduledParam{2, 3}, ScheduledParam{2, 4}),
+    [](const auto& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+// ---------------------------------------------------------------------------
+// Euclid dynamics over random size pairs.
+
+class ReducePairProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(ReducePairProperty, AgentReduceConvergesToGcdMonotonically) {
+  const auto [a, b] = GetParam();
+  const auto traj = agent_reduce_trajectory(a, b);
+  const std::uint64_t g = std::gcd(a, b);
+  EXPECT_EQ(traj.back().searching, g);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    // The total number of live agents strictly decreases each round.
+    EXPECT_LT(traj[i].searching + traj[i].waiting,
+              traj[i - 1].searching + traj[i - 1].waiting);
+    EXPECT_EQ(std::gcd(traj[i].searching, traj[i].waiting), g);
+  }
+}
+
+TEST_P(ReducePairProperty, NodeReduceRoundsAreLogarithmic) {
+  const auto [a, b] = GetParam();
+  const auto traj = node_reduce_trajectory(a, b);
+  EXPECT_EQ(traj.back().searching, std::gcd(a, b));
+  // Remainder dynamics: at most ~2 log2(max) rounds.
+  const double bound = 2.0 * std::log2(static_cast<double>(std::max(a, b))) + 4;
+  EXPECT_LE(static_cast<double>(traj.size()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ReducePairProperty,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{2, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{12, 18},
+                      std::pair<std::uint64_t, std::uint64_t>{35, 64},
+                      std::pair<std::uint64_t, std::uint64_t>{89, 144},
+                      std::pair<std::uint64_t, std::uint64_t>{100, 7},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 999},
+                      std::pair<std::uint64_t, std::uint64_t>{1024, 64}));
+
+// ---------------------------------------------------------------------------
+// Tree instances: ELECT on random trees (always asymmetric enough?  no --
+// trees can be symmetric too; oracle decides).
+
+class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeProperty, ElectOnRandomTrees) {
+  const std::uint64_t seed = GetParam();
+  const graph::Graph g = graph::random_tree(9, seed);
+  const Placement p = graph::random_placement(9, 1 + seed % 4, seed * 7 + 1);
+  const auto plan = core::protocol_plan(g, p);
+  sim::World w(g, p, seed + 50);
+  const auto r = w.run(core::make_elect_protocol(), sim::RunConfig{});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.clean_election(), plan.final_gcd == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Color-seed independence on a fixed instance (qualitative soundness).
+
+class ColorSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColorSeedProperty, OutcomeIgnoresColorTokens) {
+  const graph::Graph g = graph::torus({3, 3});
+  const Placement p(9, {0, 4});
+  const auto plan = core::protocol_plan(g, p);
+  sim::World w(g, p, GetParam());
+  const auto r = w.run(core::make_elect_protocol(), sim::RunConfig{});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.clean_election(), plan.final_gcd == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColorSeedProperty,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace qelect

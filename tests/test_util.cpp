@@ -1,0 +1,205 @@
+// Unit tests for the util module: PRNG determinism and distribution sanity,
+// the Euclid dynamics of the reduction subroutines, and table rendering.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include <atomic>
+
+#include "qelect/util/assert.hpp"
+#include "qelect/util/math.hpp"
+#include "qelect/util/parallel.hpp"
+#include "qelect/util/rng.hpp"
+#include "qelect/util/table.hpp"
+
+namespace qelect {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Xoshiro256 rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Xoshiro256 rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Math, GcdAll) {
+  EXPECT_EQ(gcd_all({12, 18, 24}), 6u);
+  EXPECT_EQ(gcd_all({7}), 7u);
+  EXPECT_EQ(gcd_all({5, 3}), 1u);
+  EXPECT_THROW(gcd_all({}), CheckError);
+  EXPECT_THROW(gcd_all({0}), CheckError);
+}
+
+TEST(Math, AgentReduceReachesGcd) {
+  for (std::uint64_t a = 1; a <= 30; ++a) {
+    for (std::uint64_t b = 1; b <= 30; ++b) {
+      const auto traj = agent_reduce_trajectory(a, b);
+      const std::uint64_t g = std::gcd(a, b);
+      EXPECT_EQ(traj.back().searching, g);
+      EXPECT_EQ(traj.back().waiting, g);
+      // Every intermediate pair preserves the gcd (Euclid invariant).
+      for (const auto& pair : traj) {
+        EXPECT_EQ(std::gcd(pair.searching, pair.waiting), g);
+        EXPECT_LE(pair.searching, pair.waiting);
+      }
+    }
+  }
+}
+
+TEST(Math, AgentReduceFirstStepMatchesPaperRule) {
+  // (s, w) -> (s, w-s) when w-s >= s.
+  const auto traj = agent_reduce_trajectory(3, 10);
+  ASSERT_GE(traj.size(), 2u);
+  EXPECT_EQ(traj[0], (ReducePair{3, 10}));
+  EXPECT_EQ(traj[1], (ReducePair{3, 7}));
+  // (s, w) -> (w-s, s) when w-s < s.
+  const auto traj2 = agent_reduce_trajectory(5, 8);
+  EXPECT_EQ(traj2[1], (ReducePair{3, 5}));
+}
+
+TEST(Math, NodeReduceReachesGcd) {
+  for (std::uint64_t a = 1; a <= 25; ++a) {
+    for (std::uint64_t b = 1; b <= 25; ++b) {
+      const auto traj = node_reduce_trajectory(a, b);
+      const std::uint64_t g = std::gcd(a, b);
+      EXPECT_EQ(traj.back().searching, g);
+      EXPECT_EQ(traj.back().waiting, g);
+      for (const auto& pair : traj) {
+        EXPECT_EQ(std::gcd(pair.searching, pair.waiting), g);
+      }
+    }
+  }
+}
+
+TEST(Math, NodeReduceHalvesEveryTwoRounds) {
+  // The proof of Theorem 3.1: Cases 1 and 2 alternate, and the larger side
+  // at least halves every two rounds, giving O(log) rounds.
+  const auto traj = node_reduce_trajectory(1000, 1);
+  EXPECT_LE(traj.size(), 3u);
+  const auto traj2 = node_reduce_trajectory(610, 987);  // Fibonacci-ish
+  for (std::size_t i = 2; i < traj2.size(); ++i) {
+    const auto big = [&](std::size_t j) {
+      return std::max(traj2[j].searching, traj2[j].waiting);
+    };
+    EXPECT_LE(big(i), big(i - 2) - big(i - 2) / 2 + 1);
+  }
+}
+
+TEST(Math, RemainderInRange) {
+  EXPECT_EQ(remainder_in_range(10, 5), 5u);  // exact multiples give m
+  EXPECT_EQ(remainder_in_range(11, 5), 1u);
+  EXPECT_EQ(remainder_in_range(4, 5), 4u);
+  EXPECT_THROW(remainder_in_range(4, 0), CheckError);
+}
+
+TEST(Math, FibonacciWorstCaseForEuclid) {
+  // gcd(F_n, F_{n+1}) takes ~n subtractive... the *remainder* form takes
+  // n-2 steps; the subtractive form used by AGENT-REDUCE coincides with the
+  // remainder form on Fibonacci pairs because each quotient is 1.
+  EXPECT_EQ(fibonacci(10), 55u);
+  EXPECT_EQ(fibonacci(0), 0u);
+  EXPECT_EQ(fibonacci(1), 1u);
+  const auto traj = agent_reduce_trajectory(fibonacci(14), fibonacci(15));
+  EXPECT_EQ(traj.size(), 14u);
+}
+
+TEST(Math, Isqrt) {
+  for (std::uint64_t n = 0; n < 1000; ++n) {
+    const std::uint64_t r = isqrt(n);
+    EXPECT_LE(r * r, n);
+    EXPECT_GT((r + 1) * (r + 1), n);
+  }
+}
+
+TEST(Math, IsPowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "100"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), CheckError);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, EmptyAndSingleton) {
+  parallel_for(0, [](std::size_t) { FAIL(); }, 4);
+  int calls = 0;
+  parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; },
+               8);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  const auto out = parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; }, 3);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace qelect
