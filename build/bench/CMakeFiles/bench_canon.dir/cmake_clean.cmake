@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_canon.dir/bench_canon.cpp.o"
+  "CMakeFiles/bench_canon.dir/bench_canon.cpp.o.d"
+  "bench_canon"
+  "bench_canon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_canon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effectual_cayley.dir/bench_effectual_cayley.cpp.o"
+  "CMakeFiles/bench_effectual_cayley.dir/bench_effectual_cayley.cpp.o.d"
+  "bench_effectual_cayley"
+  "bench_effectual_cayley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effectual_cayley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_petersen.dir/bench_fig5_petersen.cpp.o"
+  "CMakeFiles/bench_fig5_petersen.dir/bench_fig5_petersen.cpp.o.d"
+  "bench_fig5_petersen"
+  "bench_fig5_petersen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_petersen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

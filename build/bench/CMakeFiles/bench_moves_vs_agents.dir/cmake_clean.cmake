@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moves_vs_agents.dir/bench_moves_vs_agents.cpp.o"
+  "CMakeFiles/bench_moves_vs_agents.dir/bench_moves_vs_agents.cpp.o.d"
+  "bench_moves_vs_agents"
+  "bench_moves_vs_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moves_vs_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_moves_vs_edges.cpp" "bench/CMakeFiles/bench_moves_vs_edges.dir/bench_moves_vs_edges.cpp.o" "gcc" "bench/CMakeFiles/bench_moves_vs_edges.dir/bench_moves_vs_edges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qelect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cayley/CMakeFiles/qelect_cayley.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/qelect_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/qelect_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/qelect_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qelect_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

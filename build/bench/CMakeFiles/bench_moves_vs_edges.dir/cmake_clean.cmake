@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moves_vs_edges.dir/bench_moves_vs_edges.cpp.o"
+  "CMakeFiles/bench_moves_vs_edges.dir/bench_moves_vs_edges.cpp.o.d"
+  "bench_moves_vs_edges"
+  "bench_moves_vs_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moves_vs_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce_euclid.dir/bench_reduce_euclid.cpp.o"
+  "CMakeFiles/bench_reduce_euclid.dir/bench_reduce_euclid.cpp.o.d"
+  "bench_reduce_euclid"
+  "bench_reduce_euclid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce_euclid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

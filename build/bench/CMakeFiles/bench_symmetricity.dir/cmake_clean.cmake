@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetricity.dir/bench_symmetricity.cpp.o"
+  "CMakeFiles/bench_symmetricity.dir/bench_symmetricity.cpp.o.d"
+  "bench_symmetricity"
+  "bench_symmetricity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayley_explorer.dir/cayley_explorer.cpp.o"
+  "CMakeFiles/cayley_explorer.dir/cayley_explorer.cpp.o.d"
+  "cayley_explorer"
+  "cayley_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayley_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_vote.dir/hypercube_vote.cpp.o"
+  "CMakeFiles/hypercube_vote.dir/hypercube_vote.cpp.o.d"
+  "hypercube_vote"
+  "hypercube_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

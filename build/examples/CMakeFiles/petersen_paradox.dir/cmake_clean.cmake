@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petersen_paradox.dir/petersen_paradox.cpp.o"
+  "CMakeFiles/petersen_paradox.dir/petersen_paradox.cpp.o.d"
+  "petersen_paradox"
+  "petersen_paradox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petersen_paradox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for petersen_paradox.
+# This may be replaced when dependencies are built.

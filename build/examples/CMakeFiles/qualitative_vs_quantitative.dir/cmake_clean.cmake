@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualitative_vs_quantitative.dir/qualitative_vs_quantitative.cpp.o"
+  "CMakeFiles/qualitative_vs_quantitative.dir/qualitative_vs_quantitative.cpp.o.d"
+  "qualitative_vs_quantitative"
+  "qualitative_vs_quantitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualitative_vs_quantitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_rendezvous.dir/swarm_rendezvous.cpp.o"
+  "CMakeFiles/swarm_rendezvous.dir/swarm_rendezvous.cpp.o.d"
+  "swarm_rendezvous"
+  "swarm_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_cayley.dir/src/marking.cpp.o"
+  "CMakeFiles/qelect_cayley.dir/src/marking.cpp.o.d"
+  "CMakeFiles/qelect_cayley.dir/src/recognition.cpp.o"
+  "CMakeFiles/qelect_cayley.dir/src/recognition.cpp.o.d"
+  "CMakeFiles/qelect_cayley.dir/src/translation.cpp.o"
+  "CMakeFiles/qelect_cayley.dir/src/translation.cpp.o.d"
+  "libqelect_cayley.a"
+  "libqelect_cayley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_cayley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

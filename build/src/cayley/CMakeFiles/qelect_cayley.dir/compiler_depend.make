@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qelect_cayley.
+# This may be replaced when dependencies are built.

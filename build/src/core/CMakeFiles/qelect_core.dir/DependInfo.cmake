@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/agent_map.cpp" "src/core/CMakeFiles/qelect_core.dir/src/agent_map.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/agent_map.cpp.o.d"
+  "/root/repo/src/core/src/analysis.cpp" "src/core/CMakeFiles/qelect_core.dir/src/analysis.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/core/src/baselines.cpp" "src/core/CMakeFiles/qelect_core.dir/src/baselines.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/baselines.cpp.o.d"
+  "/root/repo/src/core/src/elect.cpp" "src/core/CMakeFiles/qelect_core.dir/src/elect.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/elect.cpp.o.d"
+  "/root/repo/src/core/src/gather.cpp" "src/core/CMakeFiles/qelect_core.dir/src/gather.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/gather.cpp.o.d"
+  "/root/repo/src/core/src/map_drawing.cpp" "src/core/CMakeFiles/qelect_core.dir/src/map_drawing.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/map_drawing.cpp.o.d"
+  "/root/repo/src/core/src/petersen.cpp" "src/core/CMakeFiles/qelect_core.dir/src/petersen.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/petersen.cpp.o.d"
+  "/root/repo/src/core/src/surrounding.cpp" "src/core/CMakeFiles/qelect_core.dir/src/surrounding.cpp.o" "gcc" "src/core/CMakeFiles/qelect_core.dir/src/surrounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qelect_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cayley/CMakeFiles/qelect_cayley.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/qelect_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/qelect_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/qelect_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

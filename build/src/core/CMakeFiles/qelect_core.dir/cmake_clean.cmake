@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_core.dir/src/agent_map.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/agent_map.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/analysis.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/baselines.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/baselines.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/elect.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/elect.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/gather.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/gather.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/map_drawing.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/map_drawing.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/petersen.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/petersen.cpp.o.d"
+  "CMakeFiles/qelect_core.dir/src/surrounding.cpp.o"
+  "CMakeFiles/qelect_core.dir/src/surrounding.cpp.o.d"
+  "libqelect_core.a"
+  "libqelect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

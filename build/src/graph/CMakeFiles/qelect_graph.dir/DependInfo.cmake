@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/src/families.cpp" "src/graph/CMakeFiles/qelect_graph.dir/src/families.cpp.o" "gcc" "src/graph/CMakeFiles/qelect_graph.dir/src/families.cpp.o.d"
+  "/root/repo/src/graph/src/graph.cpp" "src/graph/CMakeFiles/qelect_graph.dir/src/graph.cpp.o" "gcc" "src/graph/CMakeFiles/qelect_graph.dir/src/graph.cpp.o.d"
+  "/root/repo/src/graph/src/io.cpp" "src/graph/CMakeFiles/qelect_graph.dir/src/io.cpp.o" "gcc" "src/graph/CMakeFiles/qelect_graph.dir/src/io.cpp.o.d"
+  "/root/repo/src/graph/src/labeling.cpp" "src/graph/CMakeFiles/qelect_graph.dir/src/labeling.cpp.o" "gcc" "src/graph/CMakeFiles/qelect_graph.dir/src/labeling.cpp.o.d"
+  "/root/repo/src/graph/src/placement.cpp" "src/graph/CMakeFiles/qelect_graph.dir/src/placement.cpp.o" "gcc" "src/graph/CMakeFiles/qelect_graph.dir/src/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

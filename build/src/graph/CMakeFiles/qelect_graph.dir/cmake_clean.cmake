@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_graph.dir/src/families.cpp.o"
+  "CMakeFiles/qelect_graph.dir/src/families.cpp.o.d"
+  "CMakeFiles/qelect_graph.dir/src/graph.cpp.o"
+  "CMakeFiles/qelect_graph.dir/src/graph.cpp.o.d"
+  "CMakeFiles/qelect_graph.dir/src/io.cpp.o"
+  "CMakeFiles/qelect_graph.dir/src/io.cpp.o.d"
+  "CMakeFiles/qelect_graph.dir/src/labeling.cpp.o"
+  "CMakeFiles/qelect_graph.dir/src/labeling.cpp.o.d"
+  "CMakeFiles/qelect_graph.dir/src/placement.cpp.o"
+  "CMakeFiles/qelect_graph.dir/src/placement.cpp.o.d"
+  "libqelect_graph.a"
+  "libqelect_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/group/src/cayley_graph.cpp" "src/group/CMakeFiles/qelect_group.dir/src/cayley_graph.cpp.o" "gcc" "src/group/CMakeFiles/qelect_group.dir/src/cayley_graph.cpp.o.d"
+  "/root/repo/src/group/src/group.cpp" "src/group/CMakeFiles/qelect_group.dir/src/group.cpp.o" "gcc" "src/group/CMakeFiles/qelect_group.dir/src/group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

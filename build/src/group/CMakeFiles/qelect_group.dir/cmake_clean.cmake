@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_group.dir/src/cayley_graph.cpp.o"
+  "CMakeFiles/qelect_group.dir/src/cayley_graph.cpp.o.d"
+  "CMakeFiles/qelect_group.dir/src/group.cpp.o"
+  "CMakeFiles/qelect_group.dir/src/group.cpp.o.d"
+  "libqelect_group.a"
+  "libqelect_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iso/src/automorphism.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/automorphism.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/automorphism.cpp.o.d"
+  "/root/repo/src/iso/src/canonical.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/canonical.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/canonical.cpp.o.d"
+  "/root/repo/src/iso/src/colored_digraph.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/colored_digraph.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/colored_digraph.cpp.o.d"
+  "/root/repo/src/iso/src/enumerate.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/enumerate.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/enumerate.cpp.o.d"
+  "/root/repo/src/iso/src/equivalence.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/equivalence.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/equivalence.cpp.o.d"
+  "/root/repo/src/iso/src/refinement.cpp" "src/iso/CMakeFiles/qelect_iso.dir/src/refinement.cpp.o" "gcc" "src/iso/CMakeFiles/qelect_iso.dir/src/refinement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

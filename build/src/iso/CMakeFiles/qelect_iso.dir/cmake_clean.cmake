@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_iso.dir/src/automorphism.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/automorphism.cpp.o.d"
+  "CMakeFiles/qelect_iso.dir/src/canonical.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/canonical.cpp.o.d"
+  "CMakeFiles/qelect_iso.dir/src/colored_digraph.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/colored_digraph.cpp.o.d"
+  "CMakeFiles/qelect_iso.dir/src/enumerate.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/enumerate.cpp.o.d"
+  "CMakeFiles/qelect_iso.dir/src/equivalence.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/equivalence.cpp.o.d"
+  "CMakeFiles/qelect_iso.dir/src/refinement.cpp.o"
+  "CMakeFiles/qelect_iso.dir/src/refinement.cpp.o.d"
+  "libqelect_iso.a"
+  "libqelect_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/color.cpp" "src/sim/CMakeFiles/qelect_sim.dir/src/color.cpp.o" "gcc" "src/sim/CMakeFiles/qelect_sim.dir/src/color.cpp.o.d"
+  "/root/repo/src/sim/src/message_world.cpp" "src/sim/CMakeFiles/qelect_sim.dir/src/message_world.cpp.o" "gcc" "src/sim/CMakeFiles/qelect_sim.dir/src/message_world.cpp.o.d"
+  "/root/repo/src/sim/src/scheduler.cpp" "src/sim/CMakeFiles/qelect_sim.dir/src/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/qelect_sim.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/sim/src/whiteboard.cpp" "src/sim/CMakeFiles/qelect_sim.dir/src/whiteboard.cpp.o" "gcc" "src/sim/CMakeFiles/qelect_sim.dir/src/whiteboard.cpp.o.d"
+  "/root/repo/src/sim/src/world.cpp" "src/sim/CMakeFiles/qelect_sim.dir/src/world.cpp.o" "gcc" "src/sim/CMakeFiles/qelect_sim.dir/src/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

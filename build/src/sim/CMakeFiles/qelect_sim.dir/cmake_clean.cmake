@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_sim.dir/src/color.cpp.o"
+  "CMakeFiles/qelect_sim.dir/src/color.cpp.o.d"
+  "CMakeFiles/qelect_sim.dir/src/message_world.cpp.o"
+  "CMakeFiles/qelect_sim.dir/src/message_world.cpp.o.d"
+  "CMakeFiles/qelect_sim.dir/src/scheduler.cpp.o"
+  "CMakeFiles/qelect_sim.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/qelect_sim.dir/src/whiteboard.cpp.o"
+  "CMakeFiles/qelect_sim.dir/src/whiteboard.cpp.o.d"
+  "CMakeFiles/qelect_sim.dir/src/world.cpp.o"
+  "CMakeFiles/qelect_sim.dir/src/world.cpp.o.d"
+  "libqelect_sim.a"
+  "libqelect_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_util.dir/src/math.cpp.o"
+  "CMakeFiles/qelect_util.dir/src/math.cpp.o.d"
+  "CMakeFiles/qelect_util.dir/src/parallel.cpp.o"
+  "CMakeFiles/qelect_util.dir/src/parallel.cpp.o.d"
+  "CMakeFiles/qelect_util.dir/src/rng.cpp.o"
+  "CMakeFiles/qelect_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/qelect_util.dir/src/table.cpp.o"
+  "CMakeFiles/qelect_util.dir/src/table.cpp.o.d"
+  "libqelect_util.a"
+  "libqelect_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/src/symmetricity.cpp" "src/views/CMakeFiles/qelect_views.dir/src/symmetricity.cpp.o" "gcc" "src/views/CMakeFiles/qelect_views.dir/src/symmetricity.cpp.o.d"
+  "/root/repo/src/views/src/views.cpp" "src/views/CMakeFiles/qelect_views.dir/src/views.cpp.o" "gcc" "src/views/CMakeFiles/qelect_views.dir/src/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iso/CMakeFiles/qelect_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qelect_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qelect_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_views.dir/src/symmetricity.cpp.o"
+  "CMakeFiles/qelect_views.dir/src/symmetricity.cpp.o.d"
+  "CMakeFiles/qelect_views.dir/src/views.cpp.o"
+  "CMakeFiles/qelect_views.dir/src/views.cpp.o.d"
+  "libqelect_views.a"
+  "libqelect_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqelect_views.a"
+)

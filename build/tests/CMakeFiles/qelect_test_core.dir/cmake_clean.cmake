@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_core.dir/test_analysis.cpp.o"
+  "CMakeFiles/qelect_test_core.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/qelect_test_core.dir/test_baselines.cpp.o"
+  "CMakeFiles/qelect_test_core.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/qelect_test_core.dir/test_elect.cpp.o"
+  "CMakeFiles/qelect_test_core.dir/test_elect.cpp.o.d"
+  "CMakeFiles/qelect_test_core.dir/test_petersen.cpp.o"
+  "CMakeFiles/qelect_test_core.dir/test_petersen.cpp.o.d"
+  "qelect_test_core"
+  "qelect_test_core.pdb"
+  "qelect_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_extensions.dir/test_extensions.cpp.o"
+  "CMakeFiles/qelect_test_extensions.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/qelect_test_extensions.dir/test_structures.cpp.o"
+  "CMakeFiles/qelect_test_extensions.dir/test_structures.cpp.o.d"
+  "qelect_test_extensions"
+  "qelect_test_extensions.pdb"
+  "qelect_test_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

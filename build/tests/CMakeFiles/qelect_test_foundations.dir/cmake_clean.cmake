@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_foundations.dir/test_graph.cpp.o"
+  "CMakeFiles/qelect_test_foundations.dir/test_graph.cpp.o.d"
+  "CMakeFiles/qelect_test_foundations.dir/test_group.cpp.o"
+  "CMakeFiles/qelect_test_foundations.dir/test_group.cpp.o.d"
+  "CMakeFiles/qelect_test_foundations.dir/test_util.cpp.o"
+  "CMakeFiles/qelect_test_foundations.dir/test_util.cpp.o.d"
+  "qelect_test_foundations"
+  "qelect_test_foundations.pdb"
+  "qelect_test_foundations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_foundations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_iso.dir/test_cayley.cpp.o"
+  "CMakeFiles/qelect_test_iso.dir/test_cayley.cpp.o.d"
+  "CMakeFiles/qelect_test_iso.dir/test_iso.cpp.o"
+  "CMakeFiles/qelect_test_iso.dir/test_iso.cpp.o.d"
+  "CMakeFiles/qelect_test_iso.dir/test_views.cpp.o"
+  "CMakeFiles/qelect_test_iso.dir/test_views.cpp.o.d"
+  "qelect_test_iso"
+  "qelect_test_iso.pdb"
+  "qelect_test_iso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

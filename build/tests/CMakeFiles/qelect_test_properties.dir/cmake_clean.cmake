@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_properties.dir/test_exhaustive.cpp.o"
+  "CMakeFiles/qelect_test_properties.dir/test_exhaustive.cpp.o.d"
+  "CMakeFiles/qelect_test_properties.dir/test_properties.cpp.o"
+  "CMakeFiles/qelect_test_properties.dir/test_properties.cpp.o.d"
+  "qelect_test_properties"
+  "qelect_test_properties.pdb"
+  "qelect_test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_sim.dir/test_map_drawing.cpp.o"
+  "CMakeFiles/qelect_test_sim.dir/test_map_drawing.cpp.o.d"
+  "CMakeFiles/qelect_test_sim.dir/test_message_world.cpp.o"
+  "CMakeFiles/qelect_test_sim.dir/test_message_world.cpp.o.d"
+  "CMakeFiles/qelect_test_sim.dir/test_sim.cpp.o"
+  "CMakeFiles/qelect_test_sim.dir/test_sim.cpp.o.d"
+  "qelect_test_sim"
+  "qelect_test_sim.pdb"
+  "qelect_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

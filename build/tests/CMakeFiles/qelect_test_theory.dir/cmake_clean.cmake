@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelect_test_theory.dir/test_theory.cpp.o"
+  "CMakeFiles/qelect_test_theory.dir/test_theory.cpp.o.d"
+  "qelect_test_theory"
+  "qelect_test_theory.pdb"
+  "qelect_test_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelect_test_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

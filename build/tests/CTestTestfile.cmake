@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/qelect_test_foundations[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_iso[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_core[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_theory[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/qelect_test_properties[1]_include.cmake")
