@@ -4,35 +4,25 @@
 // not guaranteed to be.  This bench quantifies the spread: total moves and
 // steps under Random, RoundRobin, and Lockstep scheduling on fixed
 // instances, plus the mobile-vs-message-passing (Figure 1) execution
-// models side by side.
+// models side by side.  Observability rides on trace sinks: a CountingSink
+// per run surfaces wait latencies and per-node whiteboard contention, one
+// representative run is streamed to a JSONL trace file, and the recorded
+// schedule is replayed via SchedulerPolicy::Replay to certify that every
+// number printed here is reproducible step-for-step.
 #include <cstdio>
 
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/sim/message_world.hpp"
+#include "qelect/sim/replay.hpp"
 #include "qelect/sim/world.hpp"
+#include "qelect/trace/counting_sink.hpp"
+#include "qelect/trace/jsonl_sink.hpp"
 #include "qelect/util/table.hpp"
 
-namespace {
-
-using namespace qelect;
-
-const char* policy_name(sim::SchedulerPolicy p) {
-  switch (p) {
-    case sim::SchedulerPolicy::Random:
-      return "random";
-    case sim::SchedulerPolicy::RoundRobin:
-      return "round-robin";
-    case sim::SchedulerPolicy::Lockstep:
-      return "lockstep";
-  }
-  return "?";
-}
-
-}  // namespace
-
 int main() {
+  using namespace qelect;
   std::printf("== scheduler / execution-model ablation for ELECT ==\n\n");
 
   struct Inst {
@@ -48,28 +38,40 @@ int main() {
                    graph::Placement(9, {0, 4})});
 
   TextTable table("cost per scheduler (mobile World)",
-                  {"instance", "policy", "outcome", "moves", "steps"});
+                  {"instance", "policy", "outcome", "moves", "steps",
+                   "max wait", "peak wb"});
   for (const Inst& inst : insts) {
     for (const auto policy :
          {sim::SchedulerPolicy::Random, sim::SchedulerPolicy::RoundRobin,
           sim::SchedulerPolicy::Lockstep}) {
       std::size_t moves = 0, steps = 0, runs = 0;
+      std::uint64_t max_wait = 0, peak_contention = 0;
       std::string outcome;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         sim::World w(inst.g, inst.p, seed);
+        trace::CountingSink counters;
         sim::RunConfig cfg;
         cfg.policy = policy;
         cfg.seed = seed;
+        cfg.sink = &counters;
         const auto r = w.run(core::make_elect_protocol(), cfg);
         if (!r.completed) continue;
         moves += r.total_moves;
         steps += r.steps;
         ++runs;
         outcome = r.clean_election() ? "elect" : "fail-detect";
+        if (counters.max_wait_latency() > max_wait) {
+          max_wait = counters.max_wait_latency();
+        }
+        if (counters.max_node_contention() > peak_contention) {
+          peak_contention = counters.max_node_contention();
+        }
       }
-      table.add_row({inst.name, policy_name(policy), outcome,
+      table.add_row({inst.name, sim::policy_name(policy), outcome,
                      std::to_string(moves / runs),
-                     std::to_string(steps / runs)});
+                     std::to_string(steps / runs),
+                     std::to_string(max_wait),
+                     std::to_string(peak_contention)});
     }
   }
   table.print();
@@ -91,6 +93,32 @@ int main() {
     }
   }
   models.print();
+
+  // Reproducibility: record one seeded-random run to JSONL, replay the
+  // recorded schedule, and verify the results are identical.
+  {
+    const Inst& inst = insts.front();
+    const char* path = "bench_schedulers.trace.jsonl";
+    sim::World w(inst.g, inst.p, 1);
+    sim::RunConfig cfg;
+    cfg.seed = 1;
+    cfg.trace_label = inst.name;
+    trace::JsonlSink jsonl(path);
+    cfg.sink = &jsonl;
+    const auto recorded = sim::record_run(w, core::make_elect_protocol(), cfg);
+    cfg.sink = nullptr;
+    const auto verification =
+        sim::verify_replay(w, core::make_elect_protocol(), cfg,
+                           recorded.result, recorded.schedule);
+    std::printf("\ntrace: %s (%llu events); replay of the recorded schedule "
+                "is %s\n",
+                path,
+                static_cast<unsigned long long>(jsonl.events_written()),
+                verification.identical
+                    ? "bitwise-identical to the original run"
+                    : ("DIVERGENT: " + verification.divergence).c_str());
+  }
+
   std::printf(
       "\nmoves are scheduler-insensitive (the protocol's tours are fixed by\n"
       "the maps); steps vary with interleaving.  The Figure 1 transformation\n"

@@ -103,4 +103,11 @@ bool impossibility_by_exhaustive_labelings(const graph::Graph& g,
                                            const graph::Placement& p,
                                            std::size_t alphabet);
 
+/// The r * |E| unit of Theorem 3.1's O(r|E|) move bound for the instance.
+/// Trace invariant checkers and benches express measured move counts as a
+/// multiple of this budget (the paper's constant is small; ELECT measures
+/// at ~2-4 budgets end to end).
+std::uint64_t theorem31_move_budget(const graph::Graph& g,
+                                    const graph::Placement& p);
+
 }  // namespace qelect::core

@@ -121,4 +121,9 @@ bool impossibility_by_exhaustive_labelings(const graph::Graph& g,
   return views::exists_labeling_with_all_classes_nontrivial(g, p, alphabet);
 }
 
+std::uint64_t theorem31_move_budget(const graph::Graph& g,
+                                    const graph::Placement& p) {
+  return static_cast<std::uint64_t>(p.agent_count()) * g.edge_count();
+}
+
 }  // namespace qelect::core

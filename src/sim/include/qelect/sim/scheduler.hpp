@@ -4,33 +4,43 @@
 // unpredictable amount of time"; correctness claims are therefore
 // quantified over schedulers.  The library ships a seeded-random scheduler
 // (many seeds approximate "all interleavings" in the property tests), a
-// round-robin scheduler, and the Lockstep policy (handled by World itself)
+// round-robin scheduler, the Lockstep policy (handled by World itself)
 // that realizes the synchronous symmetric adversary of Section 1.3's
-// impossibility argument.
+// impossibility argument, and Replay, which consumes a recorded
+// trace::Schedule to re-execute a previous run step-for-step.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "qelect/sim/world.hpp"
+#include "qelect/trace/schedule.hpp"
 #include "qelect/util/rng.hpp"
 
 namespace qelect::sim {
 
-/// Picks which enabled agent steps next under Random / RoundRobin policies.
+/// Picks which enabled agent steps next under the Random / RoundRobin /
+/// Replay policies.
 class Scheduler {
  public:
   Scheduler(const RunConfig& config, std::size_t agent_count);
 
   /// `enabled` is non-empty and sorted ascending; returns one of its
-  /// members.
+  /// members.  Under Replay, aborts with CheckError if the recorded pick
+  /// is not currently enabled (the replayed run diverged).
   std::size_t pick(const std::vector<std::size_t>& enabled);
+
+  /// Replay only: true once every recorded pick has been consumed.
+  bool replay_exhausted() const {
+    return replay_ != nullptr && cursor_ >= replay_->picks.size();
+  }
 
  private:
   SchedulerPolicy policy_;
   Xoshiro256 rng_;
-  std::size_t cursor_ = 0;
+  std::size_t cursor_ = 0;  // round-robin position, or next replay pick
   std::size_t agent_count_;
+  const trace::Schedule* replay_ = nullptr;
 };
 
 }  // namespace qelect::sim

@@ -13,7 +13,11 @@
 //   * whiteboard access is atomic (fair mutual exclusion).
 //
 // The runtime counts moves and whiteboard accesses per agent, which is how
-// the benches check Theorem 3.1's O(r |E|) bound.
+// the benches check Theorem 3.1's O(r |E|) bound.  Deeper observability is
+// the trace subsystem's job: attach a qelect::trace::TraceSink through
+// RunConfig::sink and every executed step is streamed out (see
+// docs/TRACING.md), including enough to re-execute the run step-for-step
+// via SchedulerPolicy::Replay.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,12 @@
 #include "qelect/sim/behavior.hpp"
 #include "qelect/sim/color.hpp"
 #include "qelect/sim/whiteboard.hpp"
+#include "qelect/trace/event.hpp"
+
+namespace qelect::trace {
+class TraceSink;
+struct Schedule;
+}  // namespace qelect::trace
 
 namespace qelect::sim {
 
@@ -101,25 +111,40 @@ enum class SchedulerPolicy {
   Random,      // uniformly random enabled agent each step (seeded)
   RoundRobin,  // cyclic over enabled agents
   Lockstep,    // synchronous rounds: every enabled agent steps once per round
+  Replay,      // consume a recorded schedule (RunConfig::replay), exactly
 };
+
+/// Stable lowercase name ("random", "round-robin", "lockstep", "replay").
+const char* policy_name(SchedulerPolicy policy);
+
+/// Events are the trace subsystem's record type; the alias keeps existing
+/// observer code compiling.
+using TraceEvent = trace::TraceEvent;
 
 struct RunConfig {
   SchedulerPolicy policy = SchedulerPolicy::Random;
   std::uint64_t seed = 1;
   std::size_t max_steps = 20'000'000;
-  /// Record a TraceEvent per executed step in RunResult::events (observer
-  /// instrumentation; costs memory proportional to the step count).
-  bool record_events = false;
-};
 
-/// One executed scheduler step, for external inspection and debugging.
-/// Node ids are the observer's view -- agents themselves never see them.
-struct TraceEvent {
-  enum class Kind { Move, Board, WaitResume, Yield, Start };
-  std::size_t step = 0;
-  std::size_t agent = 0;   // index in home-base order
-  Kind kind = Kind::Start;
-  graph::NodeId node = 0;  // the agent's node after the step
+  /// Streaming observability: when set, the runtime reports run metadata,
+  /// one event per executed step, and a summary to this sink.  Null (the
+  /// default) costs one branch per step and never allocates.
+  trace::TraceSink* sink = nullptr;
+
+  /// Required by SchedulerPolicy::Replay: the exact agent-pick sequence to
+  /// re-execute (e.g. recorded by trace::ScheduleRecorder or loaded from a
+  /// JSONL trace).  The run aborts with CheckError if the schedule ever
+  /// names an agent that is not currently enabled (divergence).
+  const trace::Schedule* replay = nullptr;
+
+  /// Free-text instance label copied into trace::RunMetadata::label.
+  std::string trace_label;
+
+  /// DEPRECATED: use `sink` (e.g. trace::VectorSink) instead.  Records a
+  /// TraceEvent per executed step in RunResult::events; costs memory
+  /// proportional to the step count.  Kept for one release so external
+  /// callers can migrate; see docs/TRACING.md.
+  bool record_events = false;
 };
 
 /// Per-agent outcome of a run.
@@ -130,18 +155,22 @@ struct AgentReport {
   graph::NodeId final_position = 0;   // external observer data (tests only)
   std::size_t moves = 0;
   std::size_t board_accesses = 0;
+  bool operator==(const AgentReport&) const = default;
 };
 
 /// Outcome of a run.
 struct RunResult {
   bool completed = false;   // every agent's coroutine finished
   bool deadlock = false;    // live agents, none enabled
-  bool step_limit = false;  // max_steps exhausted
+  bool step_limit = false;  // max_steps exhausted (or replay schedule
+                            // exhausted with agents still live)
   std::size_t steps = 0;
   std::size_t total_moves = 0;
   std::size_t total_board_accesses = 0;
   std::vector<AgentReport> agents;  // in home-base order
-  std::vector<TraceEvent> events;   // filled when RunConfig::record_events
+  /// DEPRECATED: filled only under RunConfig::record_events; new code
+  /// should attach a trace::VectorSink via RunConfig::sink instead.
+  std::vector<TraceEvent> events;
 
   /// Number of agents that finished as Leader.
   std::size_t leader_count() const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "qelect/sim/scheduler.hpp"
+#include "qelect/trace/sink.hpp"
 #include "qelect/util/assert.hpp"
 #include "qelect/util/rng.hpp"
+#include "trace_support.hpp"
 
 namespace qelect::sim {
 
@@ -50,6 +52,12 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
                                    const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
   boards_.assign(graph_.node_count(), Whiteboard{});
+
+  trace::TraceSink* const sink = config.sink;
+  if (sink) {
+    sink->begin_run(
+        detail::make_run_metadata(config, graph_, placement_, quantitative_));
+  }
 
   std::vector<AgentCtx> contexts(r);
   for (std::size_t i = 0; i < r; ++i) {
@@ -99,6 +107,9 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
 
   auto execute_step = [&](std::size_t i) {
     AgentCtx& ctx = contexts[i];
+    TraceEvent::Kind kind = TraceEvent::Kind::Start;
+    graph::PortId port = trace::kNoPort;
+    graph::NodeId event_node = ctx.position_;
     if (transit[i].in_flight) {
       // Delivery: the message (P, M) arrives and the processor resumes
       // executing P against its whiteboard.
@@ -107,6 +118,9 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
       ctx.entry_port_ = transit[i].arrival.to_port;
       ++ctx.moves_;
       ++result.messages_delivered;
+      kind = TraceEvent::Kind::Deliver;
+      port = transit[i].arrival.to_port;
+      event_node = ctx.position_;
       behaviors[i].resume_target().resume();
     } else {
       Behavior::Handle handle = behaviors[i].handle();
@@ -118,13 +132,22 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
                      "agent moved through a nonexistent port");
         transit[i].in_flight = true;
         transit[i].arrival = graph_.peer(ctx.position_, mv->port);
+        kind = TraceEvent::Kind::Send;
+        port = mv->port;
+        event_node = ctx.position_;  // the node the message departs from
         pending = std::monostate{};
         // Do NOT resume: the coroutine continues at delivery.
       } else {
         if (auto* bd = std::get_if<ActionBoard>(&pending)) {
           bd->fn(boards_[ctx.position_]);
           ++ctx.board_accesses_;
+          kind = TraceEvent::Kind::Board;
+        } else if (std::holds_alternative<ActionWait>(pending)) {
+          kind = TraceEvent::Kind::WaitResume;
+        } else if (std::holds_alternative<ActionYield>(pending)) {
+          kind = TraceEvent::Kind::Yield;
         }
+        event_node = ctx.position_;
         pending = std::monostate{};
         behaviors[i].resume_target().resume();
       }
@@ -132,6 +155,12 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     const Behavior::Handle handle = behaviors[i].handle();
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
+    }
+    if (sink || config.record_events) {
+      const TraceEvent event{result.steps, static_cast<std::uint32_t>(i),
+                             kind, event_node, port};
+      if (sink) sink->on_event(event);
+      if (config.record_events) result.events.push_back(event);
     }
     ++result.steps;
     std::size_t in_flight = 0;
@@ -141,8 +170,10 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     result.max_in_transit = std::max(result.max_in_transit, in_flight);
   };
 
+  std::vector<std::size_t> enabled;
+  enabled.reserve(r);
   while (result.steps < config.max_steps) {
-    std::vector<std::size_t> enabled;
+    enabled.clear();
     bool any_live = false;
     for (std::size_t i = 0; i < r; ++i) {
       if (!behaviors[i].done() || transit[i].in_flight) any_live = true;
@@ -162,6 +193,10 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
         execute_step(i);
       }
     } else {
+      if (config.policy == SchedulerPolicy::Replay &&
+          scheduler.replay_exhausted()) {
+        break;
+      }
       execute_step(scheduler.pick(enabled));
     }
   }
@@ -179,6 +214,7 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
   }
+  if (sink) sink->end_run(detail::make_run_summary(result));
   return result;
 }
 

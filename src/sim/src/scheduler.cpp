@@ -7,10 +7,26 @@
 namespace qelect::sim {
 
 Scheduler::Scheduler(const RunConfig& config, std::size_t agent_count)
-    : policy_(config.policy), rng_(config.seed), agent_count_(agent_count) {}
+    : policy_(config.policy), rng_(config.seed), agent_count_(agent_count) {
+  if (policy_ == SchedulerPolicy::Replay) {
+    QELECT_CHECK(config.replay != nullptr,
+                 "SchedulerPolicy::Replay requires RunConfig::replay");
+    replay_ = config.replay;
+  }
+}
 
 std::size_t Scheduler::pick(const std::vector<std::size_t>& enabled) {
   QELECT_ASSERT(!enabled.empty());
+  if (policy_ == SchedulerPolicy::Replay) {
+    QELECT_CHECK(cursor_ < replay_->picks.size(),
+                 "replay schedule exhausted mid-run");
+    const std::size_t candidate = replay_->picks[cursor_++];
+    QELECT_CHECK(
+        std::binary_search(enabled.begin(), enabled.end(), candidate),
+        "replay diverged: recorded agent " + std::to_string(candidate) +
+            " is not enabled at step " + std::to_string(cursor_ - 1));
+    return candidate;
+  }
   if (policy_ == SchedulerPolicy::RoundRobin) {
     // Advance the cursor to the next enabled agent (cyclically).
     for (std::size_t hop = 0; hop < agent_count_; ++hop) {

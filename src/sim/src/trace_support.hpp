@@ -1,0 +1,19 @@
+// Internal helpers shared by World and MessageWorld: translating run
+// configuration and results into the trace subsystem's records.
+#pragma once
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/sim/world.hpp"
+#include "qelect/trace/sink.hpp"
+
+namespace qelect::sim::detail {
+
+trace::RunMetadata make_run_metadata(const RunConfig& config,
+                                     const graph::Graph& graph,
+                                     const graph::Placement& placement,
+                                     bool quantitative);
+
+trace::RunSummary make_run_summary(const RunResult& result);
+
+}  // namespace qelect::sim::detail

@@ -3,10 +3,58 @@
 #include <algorithm>
 
 #include "qelect/sim/scheduler.hpp"
+#include "qelect/trace/sink.hpp"
 #include "qelect/util/assert.hpp"
 #include "qelect/util/rng.hpp"
+#include "trace_support.hpp"
 
 namespace qelect::sim {
+
+const char* policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::Random:
+      return "random";
+    case SchedulerPolicy::RoundRobin:
+      return "round-robin";
+    case SchedulerPolicy::Lockstep:
+      return "lockstep";
+    case SchedulerPolicy::Replay:
+      return "replay";
+  }
+  return "?";
+}
+
+namespace detail {
+
+trace::RunMetadata make_run_metadata(const RunConfig& config,
+                                     const graph::Graph& graph,
+                                     const graph::Placement& placement,
+                                     bool quantitative) {
+  trace::RunMetadata meta;
+  meta.label = config.trace_label;
+  meta.node_count = graph.node_count();
+  meta.edge_count = graph.edge_count();
+  meta.agent_count = placement.agent_count();
+  meta.home_bases = placement.home_bases();
+  meta.policy = policy_name(config.policy);
+  meta.seed = config.seed;
+  meta.max_steps = config.max_steps;
+  meta.quantitative = quantitative;
+  return meta;
+}
+
+trace::RunSummary make_run_summary(const RunResult& result) {
+  trace::RunSummary summary;
+  summary.steps = result.steps;
+  summary.total_moves = result.total_moves;
+  summary.total_board_accesses = result.total_board_accesses;
+  summary.completed = result.completed;
+  summary.deadlock = result.deadlock;
+  summary.step_limit = result.step_limit;
+  return summary;
+}
+
+}  // namespace detail
 
 std::size_t AgentCtx::degree() const {
   QELECT_ASSERT(graph_ != nullptr);
@@ -111,6 +159,12 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
   boards_.assign(graph_.node_count(), Whiteboard{});
 
+  trace::TraceSink* const sink = config.sink;
+  if (sink) {
+    sink->begin_run(
+        detail::make_run_metadata(config, graph_, placement_, quantitative_));
+  }
+
   // Mark every home-base with its owner's colored sign (Section 1.2); in
   // quantitative worlds the sign also carries the integer label so any
   // traversing agent can read it.
@@ -155,10 +209,12 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     Behavior::Handle handle = behaviors[i].handle();
     PendingAction& pending = handle.promise().pending;
     TraceEvent::Kind kind = TraceEvent::Kind::Start;
+    graph::PortId port = trace::kNoPort;
     if (auto* mv = std::get_if<ActionMove>(&pending)) {
       QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
                    "agent moved through a nonexistent port");
       const graph::HalfEdge& h = graph_.peer(ctx.position_, mv->port);
+      port = mv->port;
       ctx.position_ = h.to;
       ctx.entry_port_ = h.to_port;
       ++ctx.moves_;
@@ -178,15 +234,19 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
     }
-    if (config.record_events) {
-      result.events.push_back(
-          TraceEvent{result.steps, i, kind, ctx.position_});
+    if (sink || config.record_events) {
+      const TraceEvent event{result.steps, static_cast<std::uint32_t>(i),
+                             kind, ctx.position_, port};
+      if (sink) sink->on_event(event);
+      if (config.record_events) result.events.push_back(event);
     }
     ++result.steps;
   };
 
+  std::vector<std::size_t> enabled;
+  enabled.reserve(r);
   while (result.steps < config.max_steps) {
-    std::vector<std::size_t> enabled;
+    enabled.clear();
     bool any_live = false;
     for (std::size_t i = 0; i < r; ++i) {
       if (!behaviors[i].done()) any_live = true;
@@ -208,6 +268,12 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
         execute_step(i);
       }
     } else {
+      // A recorded schedule that runs out with agents still live ends the
+      // run like a step limit (the recording stopped here).
+      if (config.policy == SchedulerPolicy::Replay &&
+          scheduler.replay_exhausted()) {
+        break;
+      }
       execute_step(scheduler.pick(enabled));
     }
   }
@@ -225,6 +291,7 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
   }
+  if (sink) sink->end_run(detail::make_run_summary(result));
   return result;
 }
 

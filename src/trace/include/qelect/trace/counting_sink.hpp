@@ -1,0 +1,61 @@
+// CountingSink: streaming metrics without storing the trace.
+//
+// Aggregates per-agent activity (moves, board accesses, wait latencies)
+// and per-node load (whiteboard contention, arrivals) in O(r + n) memory
+// regardless of run length.  Wait latency is measured in scheduler steps:
+// how long an agent sat between two of its own actions -- under the
+// asynchronous adversary this is exactly the "finite but unpredictable
+// delay" the model grants the scheduler, made measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/trace/sink.hpp"
+
+namespace qelect::trace {
+
+class CountingSink : public TraceSink {
+ public:
+  struct AgentCounters {
+    std::uint64_t moves = 0;           // Move + Deliver events
+    std::uint64_t board_accesses = 0;
+    std::uint64_t wait_resumes = 0;
+    std::uint64_t yields = 0;
+    std::uint64_t sends = 0;
+    /// Sum / max over this agent's gaps: steps elapsed between two of its
+    /// consecutive actions, counted when the later action is a WaitResume.
+    std::uint64_t total_wait_latency = 0;
+    std::uint64_t max_wait_latency = 0;
+    std::uint64_t steps = 0;           // actions executed by this agent
+  };
+
+  struct NodeCounters {
+    std::uint64_t board_accesses = 0;  // whiteboard contention at this node
+    std::uint64_t arrivals = 0;        // Move/Deliver events landing here
+  };
+
+  void begin_run(const RunMetadata& meta) override;
+  void on_event(const TraceEvent& event) override;
+  void end_run(const RunSummary& summary) override { summary_ = summary; }
+
+  const RunMetadata& metadata() const { return meta_; }
+  const RunSummary& summary() const { return summary_; }
+  const std::vector<AgentCounters>& agents() const { return agents_; }
+  const std::vector<NodeCounters>& nodes() const { return nodes_; }
+
+  /// Largest per-node whiteboard access count (peak contention point).
+  std::uint64_t max_node_contention() const;
+  /// Largest wait latency observed across all agents.
+  std::uint64_t max_wait_latency() const;
+
+ private:
+  RunMetadata meta_;
+  RunSummary summary_;
+  std::vector<AgentCounters> agents_;
+  std::vector<NodeCounters> nodes_;
+  std::vector<std::uint64_t> last_step_;  // per agent; kNever = never acted
+  static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+};
+
+}  // namespace qelect::trace

@@ -1,0 +1,51 @@
+// The execution-event model: one record per scheduler step.
+//
+// Every claim in the paper is a claim about *executions* -- the Section 1.3
+// impossibility needs identical observation histories under lockstep, and
+// Theorem 3.1's O(r|E|) bound is a statement about the moves a run
+// performs.  TraceEvent makes one executed step a first-class value: which
+// agent acted, what kind of atomic action it was, and where the agent ended
+// up.  Node ids and ports are the external observer's view -- agents
+// themselves never see them (anonymity is a property of AgentCtx, not of
+// the trace).
+//
+// The same record type covers both execution models: Move is the mobile
+// world's atomic hop, while Send/Deliver are the two halves of the
+// message-passing reading (Figure 1), where transit has its own
+// adversarially-chosen duration.
+#pragma once
+
+#include <cstdint>
+
+#include "qelect/graph/graph.hpp"
+
+namespace qelect::trace {
+
+/// Sentinel for events that carry no port (board/wait/yield).
+inline constexpr graph::PortId kNoPort = static_cast<graph::PortId>(-1);
+
+/// One executed scheduler step.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Start,       // the agent's first activation (coroutine launch at home)
+    Move,        // mobile world: atomic hop through `port`, now at `node`
+    Board,       // atomic whiteboard read-modify-write at `node`
+    WaitResume,  // a wait_until predicate held and the agent resumed
+    Yield,       // explicit interleaving point, no effect
+    Send,        // message world: agent left through `port`, now in transit
+    Deliver,     // message world: agent arrived at `node` via its `port`
+  };
+
+  std::uint64_t step = 0;            // global step index (total order)
+  std::uint32_t agent = 0;           // index in home-base order
+  Kind kind = Kind::Start;
+  graph::NodeId node = 0;            // the agent's node after the step
+  graph::PortId port = kNoPort;      // traversed port, if any
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Stable lowercase name for the JSONL schema ("move", "board", ...).
+const char* kind_name(TraceEvent::Kind kind);
+
+}  // namespace qelect::trace

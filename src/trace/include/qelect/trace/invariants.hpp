@@ -1,0 +1,59 @@
+// Trace-driven invariant checkers: a post-pass over any recorded stream.
+//
+// Given the events of a run plus the instance it ran on, these checks
+// verify model-level guarantees *from the observable execution alone*:
+//
+//   * atomicity / whiteboard mutual exclusion -- the global step order is a
+//     strict total order, so no two actions (in particular no two board
+//     accesses) ever interleave;
+//   * locality -- replaying agent positions from the home bases, every
+//     move leaves through a port that exists at the agent's current node
+//     and arrives where the port graph says it must (and in the message
+//     world, every delivery lands where the matching send was aimed);
+//   * Theorem 3.1's cost bound -- total and per-agent move counts stay
+//     within factor * r * |E| when a factor is supplied.
+//
+// A trace that passes proves the *run* respected the model; a violation
+// pinpoints the first offending step, which is what makes sinks + replay a
+// debugging loop rather than just telemetry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qelect/graph/graph.hpp"
+#include "qelect/trace/event.hpp"
+
+namespace qelect::trace {
+
+/// What the checker needs to know about the instance.
+struct InvariantSpec {
+  const graph::Graph* graph = nullptr;          // required
+  std::vector<graph::NodeId> home_bases;        // agent i starts at [i]
+  /// When > 0, enforce moves <= factor * r * |E| in total and per agent
+  /// (Theorem 3.1 is O(r|E|) total; any fixed factor certifies a run).
+  double theorem31_factor = 0.0;
+};
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  std::uint64_t events_checked = 0;
+  std::uint64_t total_moves = 0;                // Move + Deliver events
+  std::vector<std::uint64_t> per_agent_moves;   // home-base order
+
+  bool ok() const { return violations.empty(); }
+  /// "OK (n events)" or the first violation.
+  std::string to_string() const;
+};
+
+/// Runs every applicable check over `events` (chronological order).  The
+/// trace may be a suffix of the run (e.g. a RingSink window); position
+/// tracking then starts at the first event seen per agent instead of the
+/// home base.  Pass `complete_trace = false` in that case.
+InvariantReport check_trace(const std::vector<TraceEvent>& events,
+                            const InvariantSpec& spec,
+                            bool complete_trace = true);
+
+}  // namespace qelect::trace

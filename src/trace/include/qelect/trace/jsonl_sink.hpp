@@ -1,0 +1,46 @@
+// JsonlSink: one run = one JSON Lines file.
+//
+// Line 1 is a `meta` record (instance shape, policy, seed, config hash);
+// then one `event` record per executed step; the final line is a `summary`
+// record.  The format is append-only and line-delimited so traces stream
+// to disk, diff cleanly, and are trivially consumed by jq / pandas -- and
+// the recorded agent sequence is sufficient to re-execute the run
+// step-for-step (see qelect/trace/schedule.hpp).  The full schema is
+// documented in docs/TRACING.md.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "qelect/trace/sink.hpp"
+
+namespace qelect::trace {
+
+class JsonlSink : public TraceSink {
+ public:
+  /// Writes to `path`, truncating any existing file.  Throws CheckError if
+  /// the file cannot be opened.
+  explicit JsonlSink(const std::string& path);
+
+  /// Writes to a caller-owned stream (not closed on destruction).
+  explicit JsonlSink(std::ostream& out);
+
+  void begin_run(const RunMetadata& meta) override;
+  void on_event(const TraceEvent& event) override;
+  void end_run(const RunSummary& summary) override;
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+  std::uint64_t events_written_ = 0;
+};
+
+/// JSON string escaping for the `label` field (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace qelect::trace

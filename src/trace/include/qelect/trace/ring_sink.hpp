@@ -1,0 +1,46 @@
+// RingSink: the last N events, in bounded memory.
+//
+// For long runs (the step-limit diagnostics, the throughput benches) the
+// interesting part of a trace is usually its tail -- what the agents were
+// doing when the run deadlocked or hit max_steps.  RingSink keeps a
+// fixed-capacity window over the stream and counts what it dropped, so a
+// post-mortem knows both the recent history and how much came before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/trace/sink.hpp"
+
+namespace qelect::trace {
+
+class RingSink : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity);
+
+  void begin_run(const RunMetadata& meta) override;
+  void on_event(const TraceEvent& event) override;
+  void end_run(const RunSummary& summary) override { summary_ = summary; }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events seen over the whole run (not just the retained window).
+  std::uint64_t total_events() const { return total_; }
+  /// Events that fell out of the window.
+  std::uint64_t dropped() const { return total_ - buffer_.size(); }
+
+  const RunMetadata& metadata() const { return meta_; }
+  const RunSummary& summary() const { return summary_; }
+
+  /// The retained window in chronological order (oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  // next overwrite position once full
+  std::uint64_t total_ = 0;
+  RunMetadata meta_;
+  RunSummary summary_;
+};
+
+}  // namespace qelect::trace

@@ -1,0 +1,73 @@
+#include "qelect/trace/counting_sink.hpp"
+
+#include <algorithm>
+
+namespace qelect::trace {
+
+void CountingSink::begin_run(const RunMetadata& meta) {
+  meta_ = meta;
+  summary_ = RunSummary{};
+  agents_.assign(meta.agent_count, AgentCounters{});
+  nodes_.assign(meta.node_count, NodeCounters{});
+  last_step_.assign(meta.agent_count, kNever);
+}
+
+void CountingSink::on_event(const TraceEvent& event) {
+  if (event.agent >= agents_.size()) agents_.resize(event.agent + 1);
+  if (event.agent >= last_step_.size()) {
+    last_step_.resize(event.agent + 1, kNever);
+  }
+  if (event.node >= nodes_.size()) nodes_.resize(event.node + 1);
+  AgentCounters& a = agents_[event.agent];
+  NodeCounters& n = nodes_[event.node];
+  switch (event.kind) {
+    case TraceEvent::Kind::Move:
+    case TraceEvent::Kind::Deliver:
+      ++a.moves;
+      ++n.arrivals;
+      break;
+    case TraceEvent::Kind::Board:
+      ++a.board_accesses;
+      ++n.board_accesses;
+      break;
+    case TraceEvent::Kind::WaitResume: {
+      ++a.wait_resumes;
+      // Gap since the agent's previous action: the steps it spent blocked
+      // (or, if it never acted, blocked since the start of the run).
+      const std::uint64_t since =
+          last_step_[event.agent] == kNever ? 0 : last_step_[event.agent] + 1;
+      const std::uint64_t latency = event.step - since;
+      a.total_wait_latency += latency;
+      a.max_wait_latency = std::max(a.max_wait_latency, latency);
+      break;
+    }
+    case TraceEvent::Kind::Yield:
+      ++a.yields;
+      break;
+    case TraceEvent::Kind::Send:
+      ++a.sends;
+      break;
+    case TraceEvent::Kind::Start:
+      break;
+  }
+  ++a.steps;
+  last_step_[event.agent] = event.step;
+}
+
+std::uint64_t CountingSink::max_node_contention() const {
+  std::uint64_t best = 0;
+  for (const NodeCounters& n : nodes_) {
+    best = std::max(best, n.board_accesses);
+  }
+  return best;
+}
+
+std::uint64_t CountingSink::max_wait_latency() const {
+  std::uint64_t best = 0;
+  for (const AgentCounters& a : agents_) {
+    best = std::max(best, a.max_wait_latency);
+  }
+  return best;
+}
+
+}  // namespace qelect::trace

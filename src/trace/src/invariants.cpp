@@ -1,0 +1,183 @@
+#include "qelect/trace/invariants.hpp"
+
+#include <cmath>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::trace {
+namespace {
+
+constexpr std::size_t kMaxReportedViolations = 32;
+
+void report_violation(InvariantReport* report, const TraceEvent& event,
+                      const std::string& what) {
+  if (report->violations.size() >= kMaxReportedViolations) return;
+  report->violations.push_back("step " + std::to_string(event.step) +
+                               " agent " + std::to_string(event.agent) + " (" +
+                               kind_name(event.kind) + "): " + what);
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (ok()) {
+    return "OK (" + std::to_string(events_checked) + " events, " +
+           std::to_string(total_moves) + " moves)";
+  }
+  return "VIOLATION: " + violations.front() +
+         (violations.size() > 1
+              ? " (+" + std::to_string(violations.size() - 1) + " more)"
+              : "");
+}
+
+InvariantReport check_trace(const std::vector<TraceEvent>& events,
+                            const InvariantSpec& spec, bool complete_trace) {
+  QELECT_CHECK(spec.graph != nullptr, "check_trace: spec.graph is required");
+  const graph::Graph& g = *spec.graph;
+  const std::size_t r = spec.home_bases.size();
+
+  InvariantReport report;
+  report.per_agent_moves.assign(r, 0);
+
+  // Observer-side position tracking: start every agent at its home base
+  // (or, for a partial trace, at its first observed node).
+  enum class Where { Unknown, AtNode, InTransit };
+  struct AgentState {
+    Where where = Where::Unknown;
+    graph::NodeId pos = graph::kInvalidNode;
+    graph::NodeId arrival = graph::kInvalidNode;  // expected delivery node
+  };
+  std::vector<AgentState> state(r);
+  if (complete_trace) {
+    for (std::size_t i = 0; i < r; ++i) {
+      state[i].where = Where::AtNode;
+      state[i].pos = spec.home_bases[i];
+    }
+  }
+
+  bool have_prev_step = false;
+  std::uint64_t prev_step = 0;
+  for (const TraceEvent& e : events) {
+    ++report.events_checked;
+    if (e.agent >= r) {
+      report_violation(&report, e, "agent index out of range");
+      continue;
+    }
+    if (e.node >= g.node_count()) {
+      report_violation(&report, e, "node id out of range");
+      continue;
+    }
+    // Atomicity / whiteboard mutual exclusion: the executed steps form a
+    // strict total order, so no two actions -- in particular no two board
+    // accesses -- can overlap.
+    if (have_prev_step && e.step <= prev_step) {
+      report_violation(&report, e,
+                       "step order not strictly increasing (atomicity "
+                       "broken: two actions share an execution slot)");
+    }
+    have_prev_step = true;
+    prev_step = e.step;
+
+    AgentState& st = state[e.agent];
+    switch (e.kind) {
+      case TraceEvent::Kind::Move:
+        ++report.total_moves;
+        ++report.per_agent_moves[e.agent];
+        if (st.where == Where::AtNode) {
+          if (e.port == kNoPort) {
+            report_violation(&report, e, "move event carries no port");
+          } else if (e.port >= g.degree(st.pos)) {
+            report_violation(&report, e,
+                             "moved through nonexistent port " +
+                                 std::to_string(e.port) + " of node " +
+                                 std::to_string(st.pos) + " (degree " +
+                                 std::to_string(g.degree(st.pos)) + ")");
+          } else if (g.peer(st.pos, e.port).to != e.node) {
+            report_violation(&report, e,
+                             "move landed at node " + std::to_string(e.node) +
+                                 " but port " + std::to_string(e.port) +
+                                 " of node " + std::to_string(st.pos) +
+                                 " leads to node " +
+                                 std::to_string(g.peer(st.pos, e.port).to));
+          }
+        } else if (st.where == Where::InTransit) {
+          report_violation(&report, e, "move while in transit");
+        }
+        st.where = Where::AtNode;
+        st.pos = e.node;
+        break;
+      case TraceEvent::Kind::Send:
+        if (st.where == Where::InTransit) {
+          report_violation(&report, e, "send while already in transit");
+        }
+        if (st.where == Where::AtNode) {
+          if (e.port == kNoPort || e.port >= g.degree(st.pos)) {
+            report_violation(&report, e,
+                             "send through nonexistent port of node " +
+                                 std::to_string(st.pos));
+            st.arrival = graph::kInvalidNode;
+          } else {
+            st.arrival = g.peer(st.pos, e.port).to;
+          }
+        } else {
+          st.arrival = graph::kInvalidNode;
+        }
+        st.where = Where::InTransit;
+        break;
+      case TraceEvent::Kind::Deliver:
+        ++report.total_moves;
+        ++report.per_agent_moves[e.agent];
+        if (st.where == Where::AtNode) {
+          report_violation(&report, e, "delivery without a matching send");
+        } else if (st.where == Where::InTransit &&
+                   st.arrival != graph::kInvalidNode &&
+                   st.arrival != e.node) {
+          report_violation(&report, e,
+                           "delivered to node " + std::to_string(e.node) +
+                               " but the send was aimed at node " +
+                               std::to_string(st.arrival));
+        }
+        st.where = Where::AtNode;
+        st.pos = e.node;
+        break;
+      case TraceEvent::Kind::Start:
+      case TraceEvent::Kind::Board:
+      case TraceEvent::Kind::WaitResume:
+      case TraceEvent::Kind::Yield:
+        if (st.where == Where::InTransit) {
+          report_violation(&report, e, "local action while in transit");
+        } else if (st.where == Where::AtNode && st.pos != e.node) {
+          report_violation(&report, e,
+                           "acted at node " + std::to_string(e.node) +
+                               " but tracked position is node " +
+                               std::to_string(st.pos));
+        }
+        st.where = Where::AtNode;
+        st.pos = e.node;
+        break;
+    }
+  }
+
+  if (spec.theorem31_factor > 0.0 && r > 0) {
+    const double budget =
+        spec.theorem31_factor * static_cast<double>(r) *
+        static_cast<double>(g.edge_count());
+    if (static_cast<double>(report.total_moves) > budget) {
+      report.violations.push_back(
+          "Theorem 3.1 bound exceeded: " + std::to_string(report.total_moves) +
+          " total moves > " + std::to_string(budget) + " (= " +
+          std::to_string(spec.theorem31_factor) + " * r * |E|)");
+    }
+    for (std::size_t i = 0; i < r; ++i) {
+      if (static_cast<double>(report.per_agent_moves[i]) > budget) {
+        report.violations.push_back(
+            "Theorem 3.1 bound exceeded by agent " + std::to_string(i) + ": " +
+            std::to_string(report.per_agent_moves[i]) + " moves > " +
+            std::to_string(budget));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace qelect::trace

@@ -1,0 +1,39 @@
+#include "qelect/trace/ring_sink.hpp"
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::trace {
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
+  QELECT_CHECK(capacity_ > 0, "RingSink: capacity must be positive");
+  buffer_.reserve(capacity_);
+}
+
+void RingSink::begin_run(const RunMetadata& meta) {
+  meta_ = meta;
+  summary_ = RunSummary{};
+  buffer_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void RingSink::on_event(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+}  // namespace qelect::trace

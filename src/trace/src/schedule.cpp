@@ -1,0 +1,48 @@
+#include "qelect/trace/schedule.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::trace {
+namespace {
+
+/// Extracts the integer following `"key":` in a JSONL record, if present.
+/// Minimal on purpose: the sink controls the schema, so field-name lookup
+/// plus strtoull is sufficient and keeps the loader dependency-free.
+bool find_uint_field(const std::string& line, const std::string& key,
+                     std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(start, &end, 10);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Schedule load_schedule_jsonl(std::istream& in) {
+  Schedule schedule;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"event\"") == std::string::npos) continue;
+    std::uint64_t agent = 0;
+    QELECT_CHECK(find_uint_field(line, "agent", &agent),
+                 "load_schedule_jsonl: event record without agent field");
+    schedule.picks.push_back(static_cast<std::uint32_t>(agent));
+  }
+  return schedule;
+}
+
+Schedule load_schedule_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  QELECT_CHECK(in.is_open(), "load_schedule_jsonl_file: cannot open " + path);
+  return load_schedule_jsonl(in);
+}
+
+}  // namespace qelect::trace

@@ -1,0 +1,47 @@
+#include "qelect/trace/sink.hpp"
+
+#include "qelect/util/rng.hpp"
+
+namespace qelect::trace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::Start:
+      return "start";
+    case TraceEvent::Kind::Move:
+      return "move";
+    case TraceEvent::Kind::Board:
+      return "board";
+    case TraceEvent::Kind::WaitResume:
+      return "wait";
+    case TraceEvent::Kind::Yield:
+      return "yield";
+    case TraceEvent::Kind::Send:
+      return "send";
+    case TraceEvent::Kind::Deliver:
+      return "deliver";
+  }
+  return "?";
+}
+
+std::uint64_t RunMetadata::config_hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : label) {
+    h = hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+  h = hash_combine(h, node_count);
+  h = hash_combine(h, edge_count);
+  h = hash_combine(h, agent_count);
+  for (const graph::NodeId base : home_bases) {
+    h = hash_combine(h, base);
+  }
+  for (const char c : policy) {
+    h = hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+  h = hash_combine(h, seed);
+  h = hash_combine(h, max_steps);
+  h = hash_combine(h, quantitative ? 1u : 0u);
+  return h;
+}
+
+}  // namespace qelect::trace

@@ -7,9 +7,11 @@
 #include "qelect/graph/families.hpp"
 #include "qelect/sim/behavior.hpp"
 #include "qelect/sim/color.hpp"
+#include "qelect/sim/replay.hpp"
 #include "qelect/sim/scheduler.hpp"
 #include "qelect/sim/whiteboard.hpp"
 #include "qelect/sim/world.hpp"
+#include "qelect/trace/sink.hpp"
 #include "qelect/util/assert.hpp"
 
 namespace qelect::sim {
@@ -314,10 +316,11 @@ TEST(World, RerunResetsState) {
   EXPECT_EQ(w.board_at(0).count_tag(44), 1u);  // not 2: boards reset
 }
 
-TEST(World, EventTraceRecordsEveryStep) {
+TEST(World, SinkReceivesEveryStep) {
   World w(graph::ring(5), graph::Placement(5, {0, 2}), 4);
+  trace::VectorSink sink;
   RunConfig cfg;
-  cfg.record_events = true;
+  cfg.sink = &sink;
   const RunResult r = w.run(
       [](AgentCtx& ctx) -> Behavior {
         co_await ctx.board([&](Whiteboard& wb) {
@@ -328,9 +331,9 @@ TEST(World, EventTraceRecordsEveryStep) {
       },
       cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.events.size(), r.steps);
+  EXPECT_EQ(sink.events().size(), r.steps);
   std::size_t moves = 0, boards = 0;
-  for (const TraceEvent& e : r.events) {
+  for (const TraceEvent& e : sink.events()) {
     if (e.kind == TraceEvent::Kind::Move) ++moves;
     if (e.kind == TraceEvent::Kind::Board) ++boards;
     EXPECT_LT(e.agent, 2u);
@@ -338,17 +341,124 @@ TEST(World, EventTraceRecordsEveryStep) {
   }
   EXPECT_EQ(moves, r.total_moves);
   EXPECT_EQ(boards, r.total_board_accesses);
+  EXPECT_EQ(sink.metadata().agent_count, 2u);
+  EXPECT_EQ(sink.metadata().policy, "random");
+  EXPECT_EQ(sink.summary().steps, r.steps);
+  EXPECT_TRUE(sink.summary().completed);
+  // The deprecated in-result buffer stays empty unless explicitly enabled.
+  EXPECT_TRUE(r.events.empty());
 }
 
-TEST(World, EventTraceOffByDefault) {
+// Back-compat for the deprecated RunConfig::record_events path; remove
+// together with RunResult::events.
+TEST(World, DeprecatedRecordEventsStillFillsResultBuffer) {
   World w(graph::ring(4), graph::Placement(4, {0}), 4);
+  RunConfig cfg;
+  cfg.record_events = true;
   const RunResult r = w.run(
       [](AgentCtx& ctx) -> Behavior {
         co_await ctx.move(0);
         ctx.declare_leader();
       },
-      RunConfig{});
-  EXPECT_TRUE(r.events.empty());
+      cfg);
+  EXPECT_EQ(r.events.size(), r.steps);
+}
+
+// A contention-heavy protocol for the determinism tests: agents race
+// around the ring posting signs and wait for each other's marks.
+Behavior racing_protocol(AgentCtx& ctx) {
+  for (int lap = 0; lap < 4; ++lap) {
+    co_await ctx.board([&](Whiteboard& wb) {
+      wb.post(Sign{ctx.self(), 70, {lap}});
+    });
+    co_await ctx.move(0);
+    co_await ctx.yield();
+  }
+  co_await ctx.wait_until([](const Whiteboard& wb) {
+    return wb.distinct_colors_with_tag(70) >= 1;
+  });
+  ctx.declare_failure_detected();
+}
+
+TEST(World, SameSeedSamePolicyIsDeterministic) {
+  for (const SchedulerPolicy policy :
+       {SchedulerPolicy::Random, SchedulerPolicy::Lockstep}) {
+    RunConfig cfg;
+    cfg.policy = policy;
+    cfg.seed = 77;
+    World w1(graph::ring(6), graph::Placement(6, {0, 2, 4}), 13);
+    World w2(graph::ring(6), graph::Placement(6, {0, 2, 4}), 13);
+    const RunResult r1 = w1.run(racing_protocol, cfg);
+    const RunResult r2 = w2.run(racing_protocol, cfg);
+    EXPECT_EQ(compare_run_results(r1, r2), "") << policy_name(policy);
+  }
+}
+
+TEST(World, DifferentSeedsUsuallyDiverge) {
+  // Not a guarantee per-seed, but across this instance the interleavings
+  // differ; the step counts under seeds 1 and 2 are observed distinct.
+  RunConfig cfg1, cfg2;
+  cfg1.seed = 1;
+  cfg2.seed = 2;
+  World w1(graph::ring(6), graph::Placement(6, {0, 3}), 9);
+  World w2(graph::ring(6), graph::Placement(6, {0, 3}), 9);
+  const RecordedRun a = record_run(w1, racing_protocol, cfg1);
+  const RecordedRun b = record_run(w2, racing_protocol, cfg2);
+  EXPECT_NE(a.schedule, b.schedule);
+}
+
+TEST(World, RecordReplayRoundTripRandom) {
+  World w(graph::ring(6), graph::Placement(6, {0, 2, 4}), 21);
+  RunConfig cfg;
+  cfg.seed = 31;
+  const RecordedRun recorded = record_run(w, racing_protocol, cfg);
+  ASSERT_TRUE(recorded.result.completed);
+  EXPECT_EQ(recorded.schedule.size(), recorded.result.steps);
+  const ReplayVerification v =
+      verify_replay(w, racing_protocol, cfg, recorded.result,
+                    recorded.schedule);
+  EXPECT_TRUE(v.identical) << v.divergence;
+}
+
+TEST(World, RecordReplayRoundTripRoundRobin) {
+  World w(graph::ring(6), graph::Placement(6, {0, 3}), 8);
+  RunConfig cfg;
+  cfg.policy = SchedulerPolicy::RoundRobin;
+  const RecordedRun recorded = record_run(w, racing_protocol, cfg);
+  ASSERT_TRUE(recorded.result.completed);
+  const ReplayVerification v =
+      verify_replay(w, racing_protocol, cfg, recorded.result,
+                    recorded.schedule);
+  EXPECT_TRUE(v.identical) << v.divergence;
+}
+
+TEST(World, ReplayRequiresSchedule) {
+  World w(graph::ring(4), graph::Placement(4, {0}), 8);
+  RunConfig cfg;
+  cfg.policy = SchedulerPolicy::Replay;
+  EXPECT_THROW(w.run(
+                   [](AgentCtx& ctx) -> Behavior {
+                     co_await ctx.yield();
+                   },
+                   cfg),
+               CheckError);
+}
+
+TEST(World, ReplayDivergenceDetected) {
+  // A schedule naming a non-enabled agent must abort, not silently drift.
+  World w(graph::ring(4), graph::Placement(4, {0}), 8);
+  trace::Schedule bogus;
+  bogus.picks = {5};  // only agent 0 exists
+  RunConfig cfg;
+  cfg.policy = SchedulerPolicy::Replay;
+  cfg.replay = &bogus;
+  EXPECT_THROW(w.run(
+                   [](AgentCtx& ctx) -> Behavior {
+                     co_await ctx.yield();
+                     ctx.declare_leader();
+                   },
+                   cfg),
+               CheckError);
 }
 
 TEST(World, RejectsDisconnectedGraph) {
