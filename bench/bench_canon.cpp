@@ -1,14 +1,23 @@
-// PERF: substrate micro-benchmarks for the isomorphism engine (google
-// benchmark).  COMPUTE&ORDER's cost is dominated by canonical forms; the
-// paper flags this ("graph-isomorphism is not known to be in P"), so we
-// measure it explicitly across symmetry regimes.
-#include <benchmark/benchmark.h>
+// PERF: isomorphism-engine benchmarks with before/after measurement.
+//
+// COMPUTE&ORDER's cost is dominated by canonical forms; the paper flags
+// this ("graph-isomorphism is not known to be in P"), so we measure it
+// explicitly across symmetry regimes.  Every headline case times the
+// optimized path (worklist refinement + the reworked search) against the
+// seed implementation preserved under iso::reference and reports the
+// ratio as a `speedup_vs_seed` counter; tests/test_golden.cpp proves the
+// two produce byte-identical output, so the ratio compares equal work.
+// Results land in BENCH_canon.json (see bench_json.hpp for the schema).
+#include <cstdio>
 
+#include "bench_json.hpp"
 #include "qelect/core/surrounding.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/iso/automorphism.hpp"
 #include "qelect/iso/canonical.hpp"
+#include "qelect/iso/cert_cache.hpp"
 #include "qelect/iso/colored_digraph.hpp"
+#include "qelect/iso/reference.hpp"
 #include "qelect/iso/refinement.hpp"
 
 namespace {
@@ -16,99 +25,147 @@ namespace {
 using namespace qelect;
 
 iso::ColoredDigraph plain(const graph::Graph& g) {
-  return iso::from_bicolored_graph(
-      g, graph::Placement::empty(g.node_count()));
+  return iso::from_bicolored_graph(g,
+                                   graph::Placement::empty(g.node_count()));
 }
 
-void BM_CanonicalRing(benchmark::State& state) {
-  const auto d = plain(graph::ring(static_cast<std::size_t>(state.range(0))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::canonical_certificate(d));
-  }
+iso::ColoredDigraph based(const graph::Graph& g) {
+  return iso::from_bicolored_graph(g,
+                                   graph::Placement(g.node_count(), {0}));
 }
-BENCHMARK(BM_CanonicalRing)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_CanonicalHypercube(benchmark::State& state) {
-  const auto d =
-      plain(graph::hypercube(static_cast<unsigned>(state.range(0))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::canonical_certificate(d));
-  }
-}
-BENCHMARK(BM_CanonicalHypercube)->Arg(3)->Arg(4);
 
-void BM_CanonicalComplete(benchmark::State& state) {
-  // The automorphism-pruning stress test (n! leaves without it).
-  const auto d =
-      plain(graph::complete(static_cast<std::size_t>(state.range(0))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::canonical_certificate(d));
-  }
+// Headline pattern: time new vs seed on the same instance, attach the
+// speedup counter to the "after" case.
+void canon_pair(benchjson::Reporter& rep, const std::string& name,
+                const iso::ColoredDigraph& d) {
+  const double after = rep.bench(name, [&] {
+    benchjson::keep(iso::canonical_certificate(d).size());
+  });
+  const double before = rep.bench(name + "_seed", [&] {
+    benchjson::keep(iso::reference::canonical_certificate(d).size());
+  });
+  rep.counter(name, "speedup_vs_seed", before / after);
+  rep.counter(name, "leaves",
+              static_cast<double>(iso::canonical_form(d).leaves_evaluated));
+  std::printf("%-28s %12.3g s   seed %12.3g s   speedup %5.2fx\n",
+              name.c_str(), after, before, before / after);
 }
-BENCHMARK(BM_CanonicalComplete)->Arg(6)->Arg(8);
 
-void BM_CanonicalPetersen(benchmark::State& state) {
-  const auto d = plain(graph::petersen());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::canonical_certificate(d));
-  }
+void refine_pair(benchjson::Reporter& rep, const std::string& name,
+                 const iso::ColoredDigraph& d) {
+  const double after =
+      rep.bench(name, [&] { benchjson::keep(iso::refine(d).size()); });
+  const double before = rep.bench(
+      name + "_seed", [&] { benchjson::keep(iso::reference::refine(d).size()); });
+  rep.counter(name, "speedup_vs_seed", before / after);
+  const iso::Coloring fixed = iso::refine(d);
+  rep.counter(name, "classes",
+              static_cast<double>(iso::color_classes(fixed).size()));
+  std::size_t rounds = 0;
+  while (iso::refine_rounds(d, d.colors(), rounds) != fixed) ++rounds;
+  rep.counter(name, "refinement_rounds", static_cast<double>(rounds));
+  std::printf("%-28s %12.3g s   seed %12.3g s   speedup %5.2fx\n",
+              name.c_str(), after, before, before / after);
 }
-BENCHMARK(BM_CanonicalPetersen);
-
-void BM_CanonicalRandom(benchmark::State& state) {
-  const auto d = plain(graph::random_connected(
-      static_cast<std::size_t>(state.range(0)), 0.2, 7));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::canonical_certificate(d));
-  }
-}
-BENCHMARK(BM_CanonicalRandom)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_Refinement(benchmark::State& state) {
-  const auto d = plain(graph::random_connected(
-      static_cast<std::size_t>(state.range(0)), 0.2, 7));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::refine(d));
-  }
-}
-BENCHMARK(BM_Refinement)->Arg(16)->Arg(64)->Arg(128);
-
-void BM_AutomorphismEnumerationPetersen(benchmark::State& state) {
-  const auto d = plain(graph::petersen());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(iso::all_automorphisms(d));
-  }
-}
-BENCHMARK(BM_AutomorphismEnumerationPetersen);
-
-// Ablation: the automorphism-pruning design choice (DESIGN.md).  Without
-// pruning the search on K_7 walks all 7! = 5040 leaves; with it, a few
-// dozen.  Certificates are identical either way (asserted in the tests).
-void BM_AblationPruning(benchmark::State& state) {
-  const bool pruning = state.range(0) != 0;
-  const auto d = plain(graph::complete(7));
-  iso::CanonicalOptions options;
-  options.automorphism_pruning = pruning;
-  std::size_t leaves = 0;
-  for (auto _ : state) {
-    const auto form = iso::canonical_form(d, options);
-    leaves = form.leaves_evaluated;
-    benchmark::DoNotOptimize(form.certificate);
-  }
-  state.counters["leaves"] = static_cast<double>(leaves);
-}
-BENCHMARK(BM_AblationPruning)->Arg(1)->Arg(0);
-
-void BM_SurroundingClasses(benchmark::State& state) {
-  // The COMPUTE&ORDER core: classes of a bicolored torus.
-  const graph::Graph g = graph::torus({4, 4});
-  const graph::Placement p(16, {0, 5, 10});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::surrounding_classes(g, p));
-  }
-}
-BENCHMARK(BM_SurroundingClasses);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  benchjson::Reporter rep("canon");
+  std::printf("bench_canon: optimized vs seed (iso::reference)%s\n\n",
+              rep.smoke() ? " [smoke]" : "");
+
+  // Canonical forms across symmetry regimes.  Bi-colored ("based") rings
+  // are the frontier-refinement stress case: refinement splits one
+  // distance shell per round, which the seed handles with a full global
+  // resort every round.
+  canon_pair(rep, "canon_ring_32", based(graph::ring(32)));
+  canon_pair(rep, "canon_ring_64", based(graph::ring(64)));
+  canon_pair(rep, "canon_hypercube_4", plain(graph::hypercube(4)));
+  canon_pair(rep, "canon_complete_8", plain(graph::complete(8)));
+  canon_pair(rep, "canon_petersen", plain(graph::petersen()));
+  canon_pair(rep, "canon_torus_4x4", plain(graph::torus({4, 4})));
+  canon_pair(rep, "canon_random_32",
+             plain(graph::random_connected(32, 0.2, 7)));
+
+  // Refinement alone (the tentpole's first layer).
+  refine_pair(rep, "refine_ring_256", based(graph::ring(256)));
+  refine_pair(rep, "refine_ring_512", based(graph::ring(512)));
+  refine_pair(rep, "refine_random_128",
+              plain(graph::random_connected(128, 0.2, 7)));
+  refine_pair(rep, "refine_torus_8x8", based(graph::torus({8, 8})));
+
+  // Certificate cache: the ELECT hot path canonicalizes the same
+  // surroundings over and over; a warmed cache answers from the map.
+  {
+    const graph::Graph g = graph::torus({4, 4});
+    const graph::Placement p(16, {0, 5, 10});
+    iso::CertificateCache cache(1024);
+    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+      cache.certificate(core::surrounding(g, p, u));  // warm
+    }
+    const double hit = rep.bench("cert_cache_hit", [&] {
+      for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+        benchjson::keep(cache.certificate(core::surrounding(g, p, u))->size());
+      }
+    });
+    const double miss = rep.bench("cert_cache_hit_seed", [&] {
+      for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+        benchjson::keep(iso::canonical_certificate(core::surrounding(g, p, u))
+                       .size());
+      }
+    });
+    rep.counter("cert_cache_hit", "speedup_vs_seed", miss / hit);
+    const auto stats = cache.stats();
+    rep.counter("cert_cache_hit", "hit_rate",
+                static_cast<double>(stats.hits) /
+                    static_cast<double>(stats.hits + stats.misses));
+    std::printf("%-28s %12.3g s   cold %12.3g s   speedup %5.2fx\n",
+                "cert_cache_hit", hit, miss, miss / hit);
+  }
+
+  // Ablation: automorphism pruning (DESIGN.md).  Without pruning the
+  // search on K_7 walks all 7! = 5040 leaves; certificates are identical
+  // either way (asserted in the tests).
+  {
+    const auto d = plain(graph::complete(7));
+    for (const bool pruning : {true, false}) {
+      iso::CanonicalOptions options;
+      options.automorphism_pruning = pruning;
+      const std::string name =
+          pruning ? "ablation_pruning_on" : "ablation_pruning_off";
+      std::size_t leaves = 0;
+      rep.bench(name, [&] {
+        const auto form = iso::canonical_form(d, options);
+        leaves = form.leaves_evaluated;
+        benchjson::keep(form.certificate.size());
+      });
+      rep.counter(name, "leaves", static_cast<double>(leaves));
+    }
+  }
+
+  // COMPUTE&ORDER core, now running through the global certificate cache.
+  {
+    const graph::Graph g = graph::torus({4, 4});
+    const graph::Placement p(16, {0, 5, 10});
+    rep.bench("surrounding_classes_torus", [&] {
+      benchjson::keep(core::surrounding_classes(g, p).classes.size());
+    });
+  }
+
+  // Automorphism enumeration rides on the same refinement fast path.
+  {
+    const auto d = plain(graph::petersen());
+    std::size_t count = 0;
+    rep.bench("aut_enumeration_petersen", [&] {
+      count = iso::all_automorphisms(d).value().size();
+      benchjson::keep(count);
+    });
+    rep.counter("aut_enumeration_petersen", "aut_group_order",
+                static_cast<double>(count));
+  }
+
+  rep.write();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "qelect/cayley/marking.hpp"
 #include "qelect/cayley/recognition.hpp"
 #include "qelect/cayley/translation.hpp"
@@ -135,5 +136,31 @@ int main() {
     }
   }
   std::printf("%zu/%zu elected cleanly\n", live_ok, live_total);
+
+  // --- Machine-readable timings (BENCH_effectual_cayley.json) ---
+  {
+    benchjson::Reporter rep("effectual_cayley");
+    const graph::Graph circ = graph::circulant(8, {1, 3});
+    const auto rec = cayley::recognize_cayley(circ);
+    const auto placements = placements_for(8, 31);
+    rep.bench("dichotomy_circ8_13", [&] {
+      for (const Placement& p : placements) {
+        const auto plan = core::protocol_plan(circ, p);
+        benchjson::keep(plan.final_gcd +
+                 cayley::max_translation_obstruction(rec.regular_subgroups, p));
+      }
+    });
+    rep.counter("dichotomy_circ8_13", "placements",
+                static_cast<double>(placements.size()));
+    rep.counter("dichotomy_circ8_13", "dichotomy_agree",
+                static_cast<double>(grand_agree));
+    rep.counter("dichotomy_circ8_13", "dichotomy_instances",
+                static_cast<double>(grand_instances));
+    rep.bench("recognize_cayley_torus33", [&] {
+      benchjson::keep(cayley::recognize_cayley(graph::torus({3, 3}))
+                   .regular_subgroups.size());
+    });
+    rep.write();
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/util/table.hpp"
 #include "qelect/views/symmetricity.hpp"
@@ -97,5 +98,25 @@ int main() {
   for (auto s : lab_sizes) std::printf(" %llu", (unsigned long long)s);
   std::printf("\n=> x ~view y does NOT imply x ~lab y (converse of Eq. 1 "
               "fails), as the paper claims\n");
+
+  // --- Machine-readable timings (BENCH_fig2_views.json) ---
+  {
+    benchjson::Reporter rep("fig2_views");
+    rep.bench("fig2b_qualitative_encodings", [&] {
+      for (graph::NodeId v = 0; v < 3; ++v) {
+        benchjson::keep(views::encode_view_qualitative(
+                     views::build_view(ex.graph, empty, ex.qualitative, v, 3))
+                     .size());
+      }
+    });
+    rep.bench("fig2c_view_classes", [&] {
+      benchjson::keep(views::view_classes(exc.graph, graph::Placement::empty(3),
+                                   exc.labeling)
+                   .size());
+    });
+    rep.counter("fig2c_view_classes", "view_class_count",
+                static_cast<double>(view_classes.size()));
+    rep.write();
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 // (with the win split showing the race is genuinely scheduler-decided).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "qelect/cayley/recognition.hpp"
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
@@ -69,5 +70,21 @@ int main() {
       elections, total, agent0_wins, max_moves);
   std::printf("=> ELECT is not effectual on arbitrary (even vertex-"
               "transitive) graphs; the Petersen instance separates them\n");
+
+  // --- Machine-readable timings (BENCH_fig5_petersen.json) ---
+  {
+    benchjson::Reporter rep("fig5_petersen");
+    rep.bench("protocol_plan_petersen", [&] {
+      benchjson::keep(core::protocol_plan(g, p).final_gcd);
+    });
+    rep.bench("adhoc_protocol_run", [&] {
+      sim::World w(g, p, 5);
+      benchjson::keep(w.run(core::make_petersen_protocol(), {}).total_moves);
+    });
+    rep.counter("adhoc_protocol_run", "elections",
+                static_cast<double>(elections));
+    rep.counter("adhoc_protocol_run", "runs", static_cast<double>(total));
+    rep.write();
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "qelect/cayley/recognition.hpp"
 #include "qelect/cayley/translation.hpp"
 #include "qelect/core/analysis.hpp"
@@ -127,5 +128,28 @@ int main() {
   }
   std::printf("live ELECT spot check across the n=5 landscape: %zu/%zu\n",
               live_ok, live_total);
+
+  // --- Machine-readable timings (BENCH_landscape.json) ---
+  // Classification is protocol_plan-bound (surroundings + certificates),
+  // so this kernel moves with the iso-engine fast path.
+  {
+    benchjson::Reporter rep("landscape");
+    const auto graphs = iso::all_connected_graphs(5);
+    rep.bench("classify_n5", [&] {
+      for (const graph::Graph& g : graphs) {
+        for (std::size_t r = 1; r <= 5; ++r) {
+          for (const auto& p : graph::enumerate_placements(5, r)) {
+            benchjson::keep(core::protocol_plan(g, p).final_gcd);
+          }
+        }
+      }
+    });
+    rep.counter("classify_n5", "graphs", static_cast<double>(graphs.size()));
+    rep.counter("classify_n5", "open_instances",
+                static_cast<double>(grand_open));
+    rep.counter("classify_n5", "total_instances",
+                static_cast<double>(grand_instances));
+    rep.write();
+  }
   return 0;
 }

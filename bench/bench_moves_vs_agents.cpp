@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/graph/families.hpp"
@@ -66,5 +67,37 @@ int main() {
   sweep("random16", graph::random_connected(16, 0.3, 99), {1, 2, 4, 8, 16});
   std::printf("claim reproduced if moves/(r|E|) stays bounded (no growth "
               "with r)\n");
+
+  // --- Machine-readable timings (BENCH_moves_vs_agents.json) ---
+  // One silent kernel per family at the largest swept r; the counter keeps
+  // the Theorem 3.1 ratio next to the wall time.
+  {
+    benchjson::Reporter rep("moves_vs_agents");
+    struct Kernel {
+      std::string name;
+      graph::Graph g;
+      std::size_t r;
+    };
+    const std::vector<Kernel> kernels = {
+        {"elect_ring16_r16", graph::ring(16), 16},
+        {"elect_hypercube3_r8", graph::hypercube(3), 8},
+        {"elect_torus4x4_r16", graph::torus({4, 4}), 16},
+    };
+    for (const Kernel& k : kernels) {
+      std::size_t moves = 0;
+      rep.bench(k.name, [&] {
+        const graph::Placement p =
+            graph::random_placement(k.g.node_count(), k.r, 37 + k.r);
+        sim::World w(k.g, p, 1);
+        const auto res = w.run(core::make_elect_protocol(), {});
+        moves = res.total_moves;
+        benchjson::keep(moves);
+      });
+      rep.counter(k.name, "moves_per_rE",
+                  static_cast<double>(moves) /
+                      (static_cast<double>(k.r) * k.g.edge_count()));
+    }
+    rep.write();
+  }
   return 0;
 }

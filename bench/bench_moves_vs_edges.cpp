@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/graph/families.hpp"
@@ -99,5 +100,36 @@ int main() {
               "size sweep; 'inv' is the trace-driven invariant verdict\n"
               "(atomic step order, port-valid moves, <= 16 r|E| moves) for "
               "the first seed\n");
+
+  // --- Machine-readable timings (BENCH_moves_vs_edges.json) ---
+  {
+    benchjson::Reporter rep("moves_vs_edges");
+    const graph::Graph g = graph::torus({4, 4});
+    const graph::Placement p = graph::random_placement(g.node_count(), r, 18);
+    rep.bench("elect_torus4x4_r3", [&] {
+      sim::World w(g, p, 1);
+      benchjson::keep(w.run(core::make_elect_protocol(), {}).total_moves);
+    });
+    std::size_t events = 0;
+    bool inv_ok = false;
+    rep.bench("elect_torus4x4_r3_traced", [&] {
+      sim::World w(g, p, 1);
+      trace::VectorSink sink;
+      sim::RunConfig cfg;
+      cfg.sink = &sink;
+      benchjson::keep(w.run(core::make_elect_protocol(), cfg).total_moves);
+      events = sink.events().size();
+      trace::InvariantSpec spec;
+      spec.graph = &g;
+      spec.home_bases = p.home_bases();
+      spec.theorem31_factor = 16.0;
+      inv_ok = trace::check_trace(sink.events(), spec).ok();
+    });
+    rep.counter("elect_torus4x4_r3_traced", "trace_events",
+                static_cast<double>(events));
+    rep.counter("elect_torus4x4_r3_traced", "invariants_ok",
+                inv_ok ? 1.0 : 0.0);
+    rep.write();
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "bench_json.hpp"
 #include "qelect/util/math.hpp"
 #include "qelect/util/table.hpp"
 
@@ -50,5 +51,20 @@ int main() {
       "\nFibonacci pairs are the worst case for the subtractive form; the\n"
       "remainder form (NODE-REDUCE) stays logarithmic, matching the 'at\n"
       "least halved every two rounds' argument in Theorem 3.1's proof.\n");
+
+  // --- Machine-readable timings (BENCH_reduce_euclid.json) ---
+  {
+    benchjson::Reporter rep("reduce_euclid");
+    const std::uint64_t a = fibonacci(30), b = fibonacci(31);
+    rep.bench("agent_reduce_fib30",
+              [&] { benchjson::keep(agent_reduce_rounds(a, b)); });
+    rep.counter("agent_reduce_fib30", "rounds",
+                static_cast<double>(agent_reduce_rounds(a, b)));
+    rep.bench("node_reduce_fib30",
+              [&] { benchjson::keep(node_reduce_trajectory(a, b).size()); });
+    rep.counter("node_reduce_fib30", "rounds",
+                static_cast<double>(node_reduce_trajectory(a, b).size() - 1));
+    rep.write();
+  }
   return 0;
 }

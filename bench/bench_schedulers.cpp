@@ -11,6 +11,7 @@
 // number printed here is reproducible step-for-step.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/graph/families.hpp"
@@ -123,5 +124,40 @@ int main() {
       "\nmoves are scheduler-insensitive (the protocol's tours are fixed by\n"
       "the maps); steps vary with interleaving.  The Figure 1 transformation\n"
       "preserves the move count exactly -- moves ARE the messages.\n");
+
+  // --- Machine-readable timings (BENCH_schedulers.json) ---
+  {
+    benchjson::Reporter rep("schedulers");
+    const Inst& inst = insts[1];  // Q3 {0,3,5}
+    for (const auto policy :
+         {sim::SchedulerPolicy::Random, sim::SchedulerPolicy::RoundRobin,
+          sim::SchedulerPolicy::Lockstep}) {
+      const std::string name =
+          std::string("elect_q3_") + sim::policy_name(policy);
+      rep.bench(name, [&] {
+        sim::World w(inst.g, inst.p, 1);
+        sim::RunConfig cfg;
+        cfg.policy = policy;
+        cfg.seed = 1;
+        benchjson::keep(w.run(core::make_elect_protocol(), cfg).total_moves);
+      });
+    }
+    bool identical = false;
+    rep.bench("record_and_replay_c8", [&] {
+      const Inst& c8 = insts.front();
+      sim::World w(c8.g, c8.p, 1);
+      sim::RunConfig cfg;
+      cfg.seed = 1;
+      const auto recorded =
+          sim::record_run(w, core::make_elect_protocol(), cfg);
+      identical = sim::verify_replay(w, core::make_elect_protocol(), cfg,
+                                     recorded.result, recorded.schedule)
+                      .identical;
+      benchjson::keep(recorded.result.total_moves);
+    });
+    rep.counter("record_and_replay_c8", "replay_identical",
+                identical ? 1.0 : 0.0);
+    rep.write();
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 // PERF: simulator throughput -- scheduler steps per second, map drawing,
 // and end-to-end ELECT, so protocol-level numbers can be put in context.
-#include <benchmark/benchmark.h>
+// Results land in BENCH_sim_throughput.json (schema in bench_json.hpp).
+#include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/core/map_drawing.hpp"
 #include "qelect/graph/families.hpp"
@@ -11,86 +14,81 @@ namespace {
 
 using namespace qelect;
 
-// Raw stepping: agents that just walk.
-void BM_SchedulerSteps(benchmark::State& state) {
+
+// Raw stepping: agents that just walk.  The counter reports steps per
+// second at the measured median.
+void scheduler_steps(benchjson::Reporter& rep, std::size_t hops) {
   const std::size_t n = 32;
-  graph::Graph g = graph::ring(n);
-  graph::Placement p(n, {0, 8, 16, 24});
-  sim::World w(std::move(g), std::move(p), 1);
-  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  sim::World w(graph::ring(n), graph::Placement(n, {0, 8, 16, 24}), 1);
   std::size_t steps = 0;
-  for (auto _ : state) {
+  const std::string name = "scheduler_steps_" + std::to_string(hops);
+  const double t = rep.bench(name, [&] {
     const auto r = w.run(
         [hops](sim::AgentCtx& ctx) -> sim::Behavior {
           for (std::size_t i = 0; i < hops; ++i) co_await ctx.move(0);
         },
         {});
-    steps += r.steps;
-    benchmark::DoNotOptimize(r.steps);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+    steps = r.steps;
+    benchjson::keep(r.steps);
+  });
+  rep.counter(name, "steps_per_second", static_cast<double>(steps) / t);
 }
-BENCHMARK(BM_SchedulerSteps)->Arg(256)->Arg(1024);
 
-void BM_MapDrawing(benchmark::State& state) {
-  const unsigned d = static_cast<unsigned>(state.range(0));
-  graph::Graph g = graph::hypercube(d);
-  graph::Placement p(g.node_count(), {0});
-  sim::World w(std::move(g), std::move(p), 1);
-  for (auto _ : state) {
-    const auto r = w.run(
-        [](sim::AgentCtx& ctx) -> sim::Behavior {
-          benchmark::DoNotOptimize(co_await core::map_drawing(ctx));
-        },
-        {});
-    benchmark::DoNotOptimize(r.total_moves);
-  }
-}
-BENCHMARK(BM_MapDrawing)->Arg(3)->Arg(4)->Arg(5);
-
-// Exploration ablation: DFS (the paper's traversal) vs BFS frontier
-// probing.  The counter reports moves per run; DFS stays ~4|E| while BFS
-// pays the navigation tax.
-void BM_MapDrawingBfs(benchmark::State& state) {
-  const unsigned d = static_cast<unsigned>(state.range(0));
-  graph::Graph g = graph::hypercube(d);
-  graph::Placement p(g.node_count(), {0});
-  sim::World w(std::move(g), std::move(p), 1);
+void map_drawing_case(benchjson::Reporter& rep, const std::string& name,
+                      unsigned d, bool bfs) {
+  sim::World w(graph::hypercube(d),
+               graph::Placement(graph::hypercube(d).node_count(), {0}), 1);
   std::size_t moves = 0;
-  for (auto _ : state) {
+  rep.bench(name, [&] {
     const auto r = w.run(
-        [](sim::AgentCtx& ctx) -> sim::Behavior {
-          benchmark::DoNotOptimize(co_await core::map_drawing_bfs(ctx));
+        [bfs](sim::AgentCtx& ctx) -> sim::Behavior {
+          if (bfs) {
+            co_await core::map_drawing_bfs(ctx);
+          } else {
+            co_await core::map_drawing(ctx);
+          }
         },
         {});
     moves = r.total_moves;
-  }
-  state.counters["moves"] = static_cast<double>(moves);
+    benchjson::keep(r.total_moves);
+  });
+  rep.counter(name, "moves", static_cast<double>(moves));
 }
-BENCHMARK(BM_MapDrawingBfs)->Arg(3)->Arg(4)->Arg(5);
 
-void BM_ElectEndToEnd(benchmark::State& state) {
-  graph::Graph g = graph::ring(static_cast<std::size_t>(state.range(0)));
-  graph::Placement p(g.node_count(), {0, 2});
+void elect_case(benchjson::Reporter& rep, const std::string& name,
+                graph::Graph g, graph::Placement p) {
   sim::World w(std::move(g), std::move(p), 5);
-  for (auto _ : state) {
+  rep.bench(name, [&] {
     const auto r = w.run(core::make_elect_protocol(), {});
-    benchmark::DoNotOptimize(r.completed);
-  }
+    benchjson::keep(r.completed ? 1 : 0);
+  });
 }
-BENCHMARK(BM_ElectEndToEnd)->Arg(6)->Arg(10)->Arg(14);
-
-void BM_ElectManyAgents(benchmark::State& state) {
-  graph::Graph g = graph::hypercube(3);
-  graph::Placement p(8, {0, 1, 2, 3, 4, 5, 6, 7});
-  sim::World w(std::move(g), std::move(p), 5);
-  for (auto _ : state) {
-    const auto r = w.run(core::make_elect_protocol(), {});
-    benchmark::DoNotOptimize(r.completed);
-  }
-}
-BENCHMARK(BM_ElectManyAgents);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  benchjson::Reporter rep("sim_throughput");
+  std::printf("bench_sim_throughput%s\n", rep.smoke() ? " [smoke]" : "");
+
+  scheduler_steps(rep, 256);
+  scheduler_steps(rep, 1024);
+
+  // Exploration ablation: DFS (the paper's traversal) vs BFS frontier
+  // probing.  DFS stays ~4|E| moves while BFS pays the navigation tax.
+  for (const unsigned d : {3u, 4u, 5u}) {
+    map_drawing_case(rep, "map_drawing_hypercube_" + std::to_string(d), d,
+                     false);
+    map_drawing_case(rep, "map_drawing_bfs_hypercube_" + std::to_string(d),
+                     d, true);
+  }
+
+  for (const std::size_t n : {6u, 10u, 14u}) {
+    elect_case(rep, "elect_ring_" + std::to_string(n), graph::ring(n),
+               graph::Placement(n, {0, 2}));
+  }
+  elect_case(rep, "elect_hypercube3_8agents", graph::hypercube(3),
+             graph::Placement(8, {0, 1, 2, 3, 4, 5, 6, 7}));
+
+  rep.write();
+  return 0;
+}

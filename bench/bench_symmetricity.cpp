@@ -6,6 +6,7 @@
 //            => election impossible  => ELECT's gcd condition fails.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "qelect/core/analysis.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/util/table.hpp"
@@ -64,5 +65,23 @@ int main() {
   std::printf(
       "\n'obstructed' = some labeling has every ~lab class of size > 1\n"
       "(Theorem 2.1 premise); every such instance must show gcd > 1.\n");
+
+  // --- Machine-readable timings (BENCH_symmetricity.json) ---
+  // The symmetricity computation is view-machinery-bound, so this case
+  // tracks the ViewArena rewrite from the protocol side.
+  {
+    benchjson::Reporter rep("symmetricity");
+    const graph::Graph g = graph::ring(5);
+    const Placement p(5, {0, 1});
+    const auto labelings = graph::enumerate_labelings(g, 2);
+    rep.bench("exhaustive_symmetricity_C5_01", [&] {
+      for (const auto& l : labelings) {
+        benchjson::keep(views::symmetricity_of_labeling(g, p, l));
+      }
+    });
+    rep.counter("exhaustive_symmetricity_C5_01", "labelings",
+                static_cast<double>(labelings.size()));
+    rep.write();
+  }
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "qelect/core/surrounding.hpp"
 
 #include <map>
+#include <memory>
 
+#include "qelect/iso/cert_cache.hpp"
 #include "qelect/util/assert.hpp"
 
 namespace qelect::core {
@@ -26,9 +28,22 @@ iso::ColoredDigraph surrounding(const graph::Graph& g,
 iso::OrderedClasses surrounding_classes(const graph::Graph& g,
                                         const graph::Placement& p) {
   const std::size_t n = g.node_count();
-  std::map<iso::Certificate, std::vector<NodeId>> by_cert;
+  // Certificates come from the process-wide cache: every run of ELECT on a
+  // given (G, p) family recomputes the same surroundings (per agent, per
+  // placement, per sweep seed), and hash-consing means k classes cost one
+  // Certificate allocation each no matter how many agents order them.
+  struct DerefLess {
+    bool operator()(const std::shared_ptr<const iso::Certificate>& a,
+                    const std::shared_ptr<const iso::Certificate>& b) const {
+      return *a < *b;
+    }
+  };
+  std::map<std::shared_ptr<const iso::Certificate>, std::vector<NodeId>,
+           DerefLess>
+      by_cert;
   for (NodeId u = 0; u < n; ++u) {
-    by_cert[iso::canonical_certificate(surrounding(g, p, u))].push_back(u);
+    by_cert[iso::canonical_certificate_cached(surrounding(g, p, u))]
+        .push_back(u);
   }
   iso::OrderedClasses out;
   out.class_of.assign(n, 0);
@@ -36,7 +51,7 @@ iso::OrderedClasses surrounding_classes(const graph::Graph& g,
     const std::size_t idx = out.classes.size();
     for (NodeId x : members) out.class_of[x] = idx;
     out.classes.push_back(std::move(members));
-    out.certificates.push_back(cert);
+    out.certificates.push_back(*cert);
   }
   return out;
 }

@@ -1,0 +1,43 @@
+// Reference (seed) implementations of refinement and canonical labeling.
+//
+// These are the original, straightforward algorithms the engine shipped
+// with: full-resort color refinement (every round recomputes every node's
+// signature) and the sequential individualization-refinement search built
+// on top of it.  They are kept verbatim for two jobs:
+//
+//   * golden-equivalence tests: the optimized engine in refinement.cpp /
+//     canonical.cpp must produce *byte-identical* colorings and
+//     certificates on every instance (tests/test_golden.cpp), and
+//   * before/after benchmarking: bench_canon / bench_views measure the
+//     reference against the optimized path and record the speedup in
+//     BENCH_*.json (see docs/PERFORMANCE.md).
+//
+// Nothing else should call these; they are deliberately slow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+#include "qelect/iso/refinement.hpp"
+
+namespace qelect::iso::reference {
+
+/// Seed color refinement to a fixed point (full signature recompute and a
+/// global resort every round).
+Coloring refine(const ColoredDigraph& g, const Coloring& initial);
+Coloring refine(const ColoredDigraph& g);
+
+/// Seed refine() stopped after `rounds` rounds.
+Coloring refine_rounds(const ColoredDigraph& g, const Coloring& initial,
+                       std::size_t rounds);
+
+/// Seed sequential canonical-labeling search (uses the seed refinement
+/// internally, so it is independent of the optimized engine end to end).
+CanonicalForm canonical_form(const ColoredDigraph& g);
+CanonicalForm canonical_form(const ColoredDigraph& g,
+                             const CanonicalOptions& options);
+Certificate canonical_certificate(const ColoredDigraph& g);
+
+}  // namespace qelect::iso::reference

@@ -1,8 +1,10 @@
 #include "qelect/iso/canonical.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "qelect/util/assert.hpp"
+#include "qelect/util/parallel.hpp"
 
 namespace qelect::iso {
 
@@ -18,6 +20,20 @@ class Searcher {
       return CanonicalForm{{0}, {}, {}, 1};
     }
     descend(refine(g_));
+    return package();
+  }
+
+  /// One root branch of the parallel search: the caller has individualized
+  /// `individualized` in the root coloring and refined; this explores the
+  /// whole subtree below it.
+  CanonicalForm run_branch(const Coloring& refined, NodeId individualized) {
+    prefix_.push_back(individualized);
+    descend(refined);
+    return package();
+  }
+
+ private:
+  CanonicalForm package() {
     CanonicalForm out;
     out.certificate = std::move(best_cert_);
     out.labeling = std::move(best_sigma_);
@@ -26,7 +42,6 @@ class Searcher {
     return out;
   }
 
- private:
   void descend(const Coloring& c) {
     if (is_discrete(c)) {
       leaf(c);
@@ -60,14 +75,44 @@ class Searcher {
   void leaf(const Coloring& c) {
     ++leaves_;
     // A discrete coloring is a permutation: node x sits at position c[x].
-    std::vector<NodeId> sigma(c.begin(), c.end());
-    Certificate cert = certificate_under(g_, sigma);
-    if (!have_best_ || cert < best_cert_) {
-      best_cert_ = std::move(cert);
-      best_sigma_ = std::move(sigma);
+    sigma_buf_.assign(c.begin(), c.end());
+    build_certificate(sigma_buf_);
+    if (!have_best_ || cert_buf_ < best_cert_) {
+      best_cert_.swap(cert_buf_);
+      best_sigma_ = sigma_buf_;
       have_best_ = true;
-    } else if (cert == best_cert_) {
-      record_automorphism(sigma);
+    } else if (cert_buf_ == best_cert_) {
+      record_automorphism(sigma_buf_);
+    }
+  }
+
+  // Fills cert_buf_ with certificate_under(g_, sigma), byte for byte, but
+  // through reused scratch buffers and without the global arc sort: walking
+  // sources in position order and sorting each source's few arcs by
+  // (to, label) yields exactly the (from, to, label) order.
+  void build_certificate(const std::vector<NodeId>& sigma) {
+    const std::size_t n = g_.node_count();
+    inverse_buf_.resize(n);
+    for (NodeId x = 0; x < n; ++x) inverse_buf_[sigma[x]] = x;
+    cert_buf_.clear();
+    cert_buf_.reserve(1 + n + 1 + 3 * g_.arcs().size());
+    cert_buf_.push_back(n);
+    for (NodeId pos = 0; pos < n; ++pos) {
+      cert_buf_.push_back(g_.color(inverse_buf_[pos]));
+    }
+    cert_buf_.push_back(g_.arcs().size());
+    for (NodeId pos = 0; pos < n; ++pos) {
+      const NodeId x = inverse_buf_[pos];
+      arc_buf_.clear();
+      for (const Arc& a : g_.out_arcs(x)) {
+        arc_buf_.push_back(Arc{pos, sigma[a.to], a.label});
+      }
+      std::sort(arc_buf_.begin(), arc_buf_.end());
+      for (const Arc& a : arc_buf_) {
+        cert_buf_.push_back(a.from);
+        cert_buf_.push_back(a.to);
+        cert_buf_.push_back(a.label);
+      }
     }
   }
 
@@ -120,6 +165,11 @@ class Searcher {
   std::vector<std::vector<NodeId>> autos_;
   std::vector<NodeId> prefix_;
   std::size_t leaves_ = 0;
+  // Leaf-evaluation scratch, reused across the whole search.
+  std::vector<NodeId> sigma_buf_;
+  std::vector<NodeId> inverse_buf_;
+  std::vector<Arc> arc_buf_;
+  Certificate cert_buf_;
 };
 
 }  // namespace
@@ -155,9 +205,96 @@ CanonicalForm canonical_form(const ColoredDigraph& g) {
   return canonical_form(g, CanonicalOptions{});
 }
 
+namespace {
+
+// Root-parallel search: one Searcher per candidate of the root target
+// cell, branches merged by certificate minimum.  The union of the branch
+// subtrees is exactly the sequential search tree (same target cell, same
+// candidates), so min-over-branches is the same minimum and the
+// certificate is identical to the sequential one.  Branch-local
+// automorphisms are genuine automorphisms of g (verified when recorded);
+// a non-best branch whose certificate ties the winner additionally yields
+// the cross-branch automorphism best_sigma^{-1} o branch_sigma.
+CanonicalForm canonical_form_root_parallel(const ColoredDigraph& g,
+                                           const CanonicalOptions& options,
+                                           const Coloring& root,
+                                           const std::vector<NodeId>& cands,
+                                           std::uint32_t fresh,
+                                           unsigned threads) {
+  std::vector<CanonicalForm> branches = parallel_map<CanonicalForm>(
+      cands.size(),
+      [&](std::size_t i) {
+        Coloring c2 = root;
+        c2[cands[i]] = fresh;
+        return Searcher(g, options).run_branch(refine(g, c2), cands[i]);
+      },
+      threads);
+  std::size_t best = 0;
+  std::size_t leaves = 0;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    leaves += branches[i].leaves_evaluated;
+    if (i > 0 && branches[i].certificate < branches[best].certificate) {
+      best = i;
+    }
+  }
+  CanonicalForm out;
+  out.certificate = branches[best].certificate;
+  out.labeling = branches[best].labeling;
+  out.leaves_evaluated = leaves;
+  if (options.automorphism_pruning) {
+    std::vector<NodeId> best_inverse(out.labeling.size());
+    for (NodeId x = 0; x < out.labeling.size(); ++x) {
+      best_inverse[out.labeling[x]] = x;
+    }
+    auto add = [&](std::vector<NodeId> gamma) {
+      if (out.discovered_automorphisms.size() <
+          options.max_stored_automorphisms) {
+        out.discovered_automorphisms.push_back(std::move(gamma));
+      }
+    };
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      for (std::vector<NodeId>& gamma :
+           branches[i].discovered_automorphisms) {
+        add(std::move(gamma));
+      }
+      if (i != best && branches[i].certificate == out.certificate) {
+        std::vector<NodeId> gamma(out.labeling.size());
+        for (NodeId x = 0; x < gamma.size(); ++x) {
+          gamma[x] = best_inverse[branches[i].labeling[x]];
+        }
+        QELECT_ASSERT(is_automorphism(g, gamma));
+        add(std::move(gamma));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 CanonicalForm canonical_form(const ColoredDigraph& g,
                              const CanonicalOptions& options) {
-  return Searcher(g, options).run();
+  if (options.root_parallelism == 1 || g.node_count() == 0) {
+    return Searcher(g, options).run();
+  }
+  const Coloring root = refine(g);
+  if (is_discrete(root)) return Searcher(g, options).run();
+  const auto classes = color_classes(root);
+  std::size_t target = classes.size();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].size() > 1) {
+      target = i;
+      break;
+    }
+  }
+  QELECT_ASSERT(target < classes.size());
+  const std::vector<NodeId>& cands = classes[target];
+  const unsigned threads =
+      resolve_parallel_threads(options.root_parallelism, cands.size());
+  if (threads <= 1) return Searcher(g, options).run();
+  const std::uint32_t fresh = static_cast<std::uint32_t>(classes.size());
+  return canonical_form_root_parallel(g, options, root, cands, fresh,
+                                      threads);
 }
 
 Certificate canonical_certificate(const ColoredDigraph& g) {

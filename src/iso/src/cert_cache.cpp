@@ -1,0 +1,116 @@
+#include "qelect/iso/cert_cache.hpp"
+
+#include <utility>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso {
+
+StructuralKey structural_key(const ColoredDigraph& g) {
+  const std::size_t n = g.node_count();
+  StructuralKey key;
+  key.reserve(1 + n + 1 + 3 * g.arcs().size());
+  key.push_back(n);
+  for (NodeId x = 0; x < n; ++x) key.push_back(g.color(x));
+  key.push_back(g.arcs().size());
+  // Arcs are stored sorted by (from, to, label), so two equal digraphs
+  // produce identical keys and vice versa: the encoding is exact.
+  for (const Arc& a : g.arcs()) {
+    key.push_back(a.from);
+    key.push_back(a.to);
+    key.push_back(a.label);
+  }
+  return key;
+}
+
+std::size_t CertificateCache::KeyHash::operator()(
+    const StructuralKey& key) const noexcept {
+  // FNV-1a over the words.  A collision only costs a bucket-chain compare:
+  // the map's equality check is on the full exact key.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : key) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CertificateCache::CertificateCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+std::shared_ptr<const Certificate> CertificateCache::certificate(
+    const ColoredDigraph& g) {
+  StructuralKey key = structural_key(g);
+  if (auto hit = lookup(key)) return hit;
+  // Computed outside the lock: the search dominates, and concurrent misses
+  // on the same key are resolved by insert() keeping the first value.
+  return insert(std::move(key), canonical_certificate(g));
+}
+
+std::shared_ptr<const Certificate> CertificateCache::lookup(
+    const StructuralKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.cert;
+}
+
+std::shared_ptr<const Certificate> CertificateCache::insert(StructuralKey key,
+                                                            Certificate cert) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Lost a miss/compute race; hand out the incumbent so every caller
+    // shares one allocation per structure.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.cert;
+  }
+  while (map_.size() >= capacity_) {
+    const StructuralKey* victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(*victim);
+    ++stats_.evictions;
+  }
+  auto shared = std::make_shared<const Certificate>(std::move(cert));
+  auto [pos, inserted] = map_.emplace(std::move(key), Entry{shared, {}});
+  QELECT_ASSERT(inserted);
+  lru_.push_front(&pos->first);
+  pos->second.lru = lru_.begin();
+  ++stats_.insertions;
+  return shared;
+}
+
+CertificateCache::Stats CertificateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = map_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+void CertificateCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  stats_ = Stats{};
+  stats_.capacity = capacity_;
+}
+
+CertificateCache& CertificateCache::global() {
+  static CertificateCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Certificate> canonical_certificate_cached(
+    const ColoredDigraph& g) {
+  return CertificateCache::global().certificate(g);
+}
+
+}  // namespace qelect::iso

@@ -1,0 +1,212 @@
+// The seed algorithms, verbatim (see reference.hpp for why they live on).
+#include "qelect/iso/reference.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::iso::reference {
+
+namespace {
+
+// The exact signature a node exposes in one refinement round: its current
+// class plus the sorted (label, neighbor class) lists in both directions.
+struct Signature {
+  std::uint32_t self = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> in;
+  auto operator<=>(const Signature&) const = default;
+};
+
+Signature signature_of(const ColoredDigraph& g, const Coloring& c, NodeId x) {
+  Signature s;
+  s.self = c[x];
+  s.out.reserve(g.out_arcs(x).size());
+  for (const Arc& a : g.out_arcs(x)) s.out.emplace_back(a.label, c[a.to]);
+  std::sort(s.out.begin(), s.out.end());
+  s.in.reserve(g.in_arcs(x).size());
+  for (const Arc& a : g.in_arcs(x)) s.in.emplace_back(a.label, c[a.from]);
+  std::sort(s.in.begin(), s.in.end());
+  return s;
+}
+
+// One refinement round; returns true if the coloring changed.
+bool refine_once(const ColoredDigraph& g, Coloring& c) {
+  const std::size_t n = g.node_count();
+  std::vector<Signature> sigs(n);
+  for (NodeId x = 0; x < n; ++x) sigs[x] = signature_of(g, c, x);
+  std::vector<NodeId> order(n);
+  for (NodeId x = 0; x < n; ++x) order[x] = x;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return sigs[a] < sigs[b];
+  });
+  Coloring fresh(n);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && sigs[order[i]] != sigs[order[i - 1]]) ++next;
+    fresh[order[i]] = next;
+  }
+  const std::size_t class_count = n == 0 ? 0 : next + 1;
+  const bool changed =
+      class_count !=
+      static_cast<std::size_t>(*std::max_element(c.begin(), c.end())) + 1;
+  c = std::move(fresh);
+  return changed;
+}
+
+Coloring seed_normalize(const Coloring& coloring) {
+  std::map<std::uint32_t, std::uint32_t> index;
+  for (std::uint32_t v : coloring) index.emplace(v, 0);
+  std::uint32_t next = 0;
+  for (auto& [value, idx] : index) idx = next++;
+  Coloring out(coloring.size());
+  for (std::size_t i = 0; i < coloring.size(); ++i) {
+    out[i] = index.at(coloring[i]);
+  }
+  return out;
+}
+
+class Searcher {
+ public:
+  Searcher(const ColoredDigraph& g, const CanonicalOptions& options)
+      : g_(g), options_(options) {}
+
+  CanonicalForm run() {
+    if (g_.node_count() == 0) {
+      return CanonicalForm{{0}, {}, {}, 1};
+    }
+    descend(reference::refine(g_));
+    CanonicalForm out;
+    out.certificate = std::move(best_cert_);
+    out.labeling = std::move(best_sigma_);
+    out.discovered_automorphisms = std::move(autos_);
+    out.leaves_evaluated = leaves_;
+    return out;
+  }
+
+ private:
+  void descend(const Coloring& c) {
+    if (is_discrete(c)) {
+      leaf(c);
+      return;
+    }
+    const auto classes = color_classes(c);
+    std::size_t target = classes.size();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      if (classes[i].size() > 1) {
+        target = i;
+        break;
+      }
+    }
+    QELECT_ASSERT(target < classes.size());
+    const std::uint32_t fresh = static_cast<std::uint32_t>(classes.size());
+    std::vector<NodeId> tried;
+    for (NodeId y : classes[target]) {
+      if (pruned_by_automorphism(tried, y)) continue;
+      tried.push_back(y);
+      Coloring c2 = c;
+      c2[y] = fresh;
+      prefix_.push_back(y);
+      descend(reference::refine(g_, c2));
+      prefix_.pop_back();
+    }
+  }
+
+  void leaf(const Coloring& c) {
+    ++leaves_;
+    std::vector<NodeId> sigma(c.begin(), c.end());
+    Certificate cert = certificate_under(g_, sigma);
+    if (!have_best_ || cert < best_cert_) {
+      best_cert_ = std::move(cert);
+      best_sigma_ = std::move(sigma);
+      have_best_ = true;
+    } else if (cert == best_cert_) {
+      record_automorphism(sigma);
+    }
+  }
+
+  void record_automorphism(const std::vector<NodeId>& sigma) {
+    if (!options_.automorphism_pruning) return;
+    if (autos_.size() >= options_.max_stored_automorphisms) return;
+    std::vector<NodeId> best_inverse(best_sigma_.size());
+    for (NodeId x = 0; x < best_sigma_.size(); ++x) {
+      best_inverse[best_sigma_[x]] = x;
+    }
+    std::vector<NodeId> gamma(sigma.size());
+    for (NodeId x = 0; x < sigma.size(); ++x) {
+      gamma[x] = best_inverse[sigma[x]];
+    }
+    QELECT_ASSERT(is_automorphism(g_, gamma));
+    autos_.push_back(std::move(gamma));
+  }
+
+  bool pruned_by_automorphism(const std::vector<NodeId>& tried,
+                              NodeId y) const {
+    for (const auto& gamma : autos_) {
+      bool fixes_prefix = true;
+      for (NodeId p : prefix_) {
+        if (gamma[p] != p) {
+          fixes_prefix = false;
+          break;
+        }
+      }
+      if (!fixes_prefix) continue;
+      for (NodeId x : tried) {
+        if (gamma[x] == y) return true;
+      }
+    }
+    return false;
+  }
+
+  const ColoredDigraph& g_;
+  CanonicalOptions options_;
+  Certificate best_cert_;
+  std::vector<NodeId> best_sigma_;
+  bool have_best_ = false;
+  std::vector<std::vector<NodeId>> autos_;
+  std::vector<NodeId> prefix_;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace
+
+Coloring refine(const ColoredDigraph& g, const Coloring& initial) {
+  QELECT_CHECK(initial.size() == g.node_count(),
+               "reference::refine: coloring size mismatch");
+  Coloring c = seed_normalize(initial);
+  if (g.node_count() == 0) return c;
+  while (refine_once(g, c)) {
+  }
+  return c;
+}
+
+Coloring refine(const ColoredDigraph& g) {
+  return reference::refine(g, g.colors());
+}
+
+Coloring refine_rounds(const ColoredDigraph& g, const Coloring& initial,
+                       std::size_t rounds) {
+  QELECT_CHECK(initial.size() == g.node_count(),
+               "reference::refine_rounds: coloring size mismatch");
+  Coloring c = seed_normalize(initial);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (!refine_once(g, c)) break;
+  }
+  return c;
+}
+
+CanonicalForm canonical_form(const ColoredDigraph& g) {
+  return reference::canonical_form(g, CanonicalOptions{});
+}
+
+CanonicalForm canonical_form(const ColoredDigraph& g,
+                             const CanonicalOptions& options) {
+  return Searcher(g, options).run();
+}
+
+Certificate canonical_certificate(const ColoredDigraph& g) {
+  return reference::canonical_form(g).certificate;
+}
+
+}  // namespace qelect::iso::reference

@@ -139,12 +139,6 @@ struct RunConfig {
 
   /// Free-text instance label copied into trace::RunMetadata::label.
   std::string trace_label;
-
-  /// DEPRECATED: use `sink` (e.g. trace::VectorSink) instead.  Records a
-  /// TraceEvent per executed step in RunResult::events; costs memory
-  /// proportional to the step count.  Kept for one release so external
-  /// callers can migrate; see docs/TRACING.md.
-  bool record_events = false;
 };
 
 /// Per-agent outcome of a run.
@@ -168,9 +162,6 @@ struct RunResult {
   std::size_t total_moves = 0;
   std::size_t total_board_accesses = 0;
   std::vector<AgentReport> agents;  // in home-base order
-  /// DEPRECATED: filled only under RunConfig::record_events; new code
-  /// should attach a trace::VectorSink via RunConfig::sink instead.
-  std::vector<TraceEvent> events;
 
   /// Number of agents that finished as Leader.
   std::size_t leader_count() const;

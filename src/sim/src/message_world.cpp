@@ -156,11 +156,9 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
     }
-    if (sink || config.record_events) {
-      const TraceEvent event{result.steps, static_cast<std::uint32_t>(i),
-                             kind, event_node, port};
-      if (sink) sink->on_event(event);
-      if (config.record_events) result.events.push_back(event);
+    if (sink) {
+      sink->on_event(TraceEvent{result.steps, static_cast<std::uint32_t>(i),
+                                kind, event_node, port});
     }
     ++result.steps;
     std::size_t in_flight = 0;

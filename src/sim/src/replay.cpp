@@ -93,7 +93,6 @@ ReplayVerification verify_impl(WorldT& world, const Protocol& protocol,
   config.policy = SchedulerPolicy::Replay;
   config.replay = &schedule;
   config.sink = nullptr;
-  config.record_events = false;
   const Result replayed = world.run(protocol, config);
   ReplayVerification verification;
   verification.divergence = compare_run_results(expected, replayed);

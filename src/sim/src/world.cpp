@@ -234,11 +234,9 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
     }
-    if (sink || config.record_events) {
-      const TraceEvent event{result.steps, static_cast<std::uint32_t>(i),
-                             kind, ctx.position_, port};
-      if (sink) sink->on_event(event);
-      if (config.record_events) result.events.push_back(event);
+    if (sink) {
+      sink->on_event(TraceEvent{result.steps, static_cast<std::uint32_t>(i),
+                                kind, ctx.position_, port});
     }
     ++result.steps;
   };

@@ -8,31 +8,64 @@
 // decomposition), results are written to disjoint slots (no shared mutable
 // state, no locks on the hot path), and thread count 1 degrades to a plain
 // loop so single-core machines and debuggers see sequential behavior.
+//
+// Both helpers are templates on the callable: the worker loop invokes the
+// lambda directly (inlinable, no std::function type erasure, no per-call
+// allocation), which matters now that canonical_form's root-parallel mode
+// pushes fine-grained work through here.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace qelect {
+
+/// Resolves a requested thread count: 0 picks hardware_concurrency(), and
+/// the result is clamped to `count` (never more threads than items).
+unsigned resolve_parallel_threads(unsigned requested, std::size_t count);
 
 /// Invokes fn(i) for i in [0, count), distributed over `threads` hardware
 /// threads (block decomposition).  fn must be safe to call concurrently
 /// for distinct i and must not throw (a throwing fn terminates, as with
 /// any unhandled exception on a std::thread).  threads == 0 picks
 /// std::thread::hardware_concurrency().
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  unsigned threads = 0);
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
+  if (count == 0) return;
+  const unsigned use = resolve_parallel_threads(threads, count);
+  if (use <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Static block decomposition: thread t handles [t*block, ...).
+  const std::size_t block = (count + use - 1) / use;
+  std::vector<std::thread> pool;
+  pool.reserve(use);
+  for (unsigned t = 0; t < use; ++t) {
+    const std::size_t begin = t * block;
+    const std::size_t end = std::min(count, begin + block);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
 
 /// Maps fn over [0, count) into a vector, in index order, in parallel.
-template <typename T>
-std::vector<T> parallel_map(std::size_t count,
-                            const std::function<T(std::size_t)>& fn,
-                            unsigned threads = 0) {
-  std::vector<T> out(count);
+/// T only needs to be movable: results land in std::optional slots, so
+/// non-default-constructible types work.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& fn, unsigned threads = 0) {
+  std::vector<std::optional<T>> slots(count);
   parallel_for(
-      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
+      count, [&](std::size_t i) { slots[i].emplace(fn(i)); }, threads);
+  std::vector<T> out;
+  out.reserve(count);
+  for (std::optional<T>& s : slots) out.push_back(std::move(*s));
   return out;
 }
 

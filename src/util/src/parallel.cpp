@@ -4,32 +4,11 @@
 
 namespace qelect {
 
-void parallel_for(std::size_t count,
-                  const std::function<void(std::size_t)>& fn,
-                  unsigned threads) {
-  if (count == 0) return;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+unsigned resolve_parallel_threads(unsigned requested, std::size_t count) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, count));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  // Static block decomposition: thread t handles [t*block, ...).
-  const std::size_t block = (count + threads - 1) / threads;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    const std::size_t begin = t * block;
-    const std::size_t end = std::min(count, begin + block);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  for (std::thread& th : pool) th.join();
+  return static_cast<unsigned>(std::min<std::size_t>(requested, count));
 }
 
 }  // namespace qelect

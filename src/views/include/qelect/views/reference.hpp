@@ -1,0 +1,29 @@
+// The seed view builder/encoder, kept verbatim.
+//
+// views.cpp's build_view/encode_view were rewritten around a shared-subtree
+// DAG and memoized encodings; these are the original exponential-tree
+// implementations.  They exist for two reasons:
+//
+//   * tests/test_golden.cpp checks the optimized functions byte-identical
+//     against them across randomized instance families, and
+//   * bench_views measures the before/after speedup by timing both.
+//
+// Production code must not call into this namespace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/views/views.hpp"
+
+namespace qelect::views::reference {
+
+ViewTree build_view(const graph::Graph& g, const graph::Placement& p,
+                    const graph::EdgeLabeling& l, NodeId root,
+                    std::size_t depth);
+
+std::vector<std::uint64_t> encode_view(const ViewTree& view);
+
+std::vector<std::uint64_t> encode_view_qualitative(const ViewTree& view);
+
+}  // namespace qelect::views::reference

@@ -1,0 +1,118 @@
+// The seed algorithms, verbatim (see reference.hpp for why they live on).
+#include "qelect/views/reference.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::views::reference {
+
+namespace {
+
+std::shared_ptr<const ViewTree> build_view_rec(const graph::Graph& g,
+                                               const graph::Placement& p,
+                                               const graph::EdgeLabeling& l,
+                                               NodeId x, std::size_t depth) {
+  auto tree = std::make_shared<ViewTree>();
+  tree->root_color = p.is_home_base(x) ? 1 : 0;
+  if (depth == 0) return tree;
+  tree->children.reserve(g.degree(x));
+  for (PortId port = 0; port < g.degree(x); ++port) {
+    const graph::HalfEdge& h = g.peer(x, port);
+    ViewTree::Child child;
+    child.near_label = l.at(x, port);
+    child.far_label = l.at(h.to, h.to_port);
+    child.subtree = build_view_rec(g, p, l, h.to, depth - 1);
+    tree->children.push_back(std::move(child));
+  }
+  return tree;
+}
+
+void encode_rec(const ViewTree& view, std::vector<std::uint64_t>& out) {
+  out.push_back(0xFEED0000ULL + view.root_color);
+  std::vector<std::vector<std::uint64_t>> child_words;
+  child_words.reserve(view.children.size());
+  for (const auto& child : view.children) {
+    std::vector<std::uint64_t> w;
+    w.push_back((static_cast<std::uint64_t>(child.near_label) << 32) |
+                child.far_label);
+    encode_rec(*child.subtree, w);
+    child_words.push_back(std::move(w));
+  }
+  std::sort(child_words.begin(), child_words.end());
+  out.push_back(0xFEED1000ULL + child_words.size());
+  for (const auto& w : child_words) {
+    out.push_back(0xFEED2000ULL);  // child separator keeps encoding prefix-free
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  out.push_back(0xFEED3000ULL);
+}
+
+void collect_symbols(const ViewTree& view, std::vector<std::uint32_t>& out) {
+  for (const auto& child : view.children) {
+    out.push_back(child.near_label);
+    out.push_back(child.far_label);
+    collect_symbols(*child.subtree, out);
+  }
+}
+
+std::shared_ptr<const ViewTree> rename_tree(
+    const ViewTree& view, const std::map<std::uint32_t, std::uint32_t>& map) {
+  auto out = std::make_shared<ViewTree>();
+  out->root_color = view.root_color;
+  out->children.reserve(view.children.size());
+  for (const auto& child : view.children) {
+    ViewTree::Child c;
+    c.near_label = map.at(child.near_label);
+    c.far_label = map.at(child.far_label);
+    c.subtree = rename_tree(*child.subtree, map);
+    out->children.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ViewTree build_view(const graph::Graph& g, const graph::Placement& p,
+                    const graph::EdgeLabeling& l, NodeId root,
+                    std::size_t depth) {
+  QELECT_CHECK(root < g.node_count(), "build_view: root out of range");
+  QELECT_CHECK(l.locally_distinct(g), "build_view: labeling must fit graph");
+  QELECT_CHECK(p.node_count() == g.node_count(),
+               "build_view: placement size mismatch");
+  return *build_view_rec(g, p, l, root, depth);
+}
+
+std::vector<std::uint64_t> encode_view(const ViewTree& view) {
+  std::vector<std::uint64_t> out;
+  encode_rec(view, out);
+  return out;
+}
+
+std::vector<std::uint64_t> encode_view_qualitative(const ViewTree& view) {
+  std::vector<std::uint32_t> symbols;
+  collect_symbols(view, symbols);
+  std::sort(symbols.begin(), symbols.end());
+  symbols.erase(std::unique(symbols.begin(), symbols.end()), symbols.end());
+  QELECT_CHECK(symbols.size() <= 8,
+               "encode_view_qualitative supports at most 8 distinct symbols");
+  std::vector<std::uint32_t> target(symbols.size());
+  for (std::uint32_t i = 0; i < target.size(); ++i) target[i] = i + 1;
+
+  std::vector<std::uint64_t> best;
+  std::vector<std::uint32_t> perm = target;
+  do {
+    std::map<std::uint32_t, std::uint32_t> renaming;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      renaming[symbols[i]] = perm[i];
+    }
+    auto renamed = rename_tree(view, renaming);
+    auto word = reference::encode_view(*renamed);
+    if (best.empty() || word < best) best = std::move(word);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace qelect::views::reference

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "qelect/iso/colored_digraph.hpp"
 #include "qelect/util/assert.hpp"
@@ -10,37 +12,60 @@ namespace qelect::views {
 
 namespace {
 
+// (node, remaining depth) -> already-built subtree.  The subtree below a
+// tree node depends only on that pair, so memoizing turns the deg^depth
+// tree into a DAG with at most n * (depth + 1) distinct subtrees; the
+// shared_ptr children of ViewTree make the sharing invisible to callers
+// (same unrolled tree, exponentially less churn).
+using BuildMemo =
+    std::unordered_map<std::uint64_t, std::shared_ptr<const ViewTree>>;
+
 std::shared_ptr<const ViewTree> build_view_rec(const graph::Graph& g,
                                                const graph::Placement& p,
                                                const graph::EdgeLabeling& l,
-                                               NodeId x, std::size_t depth) {
+                                               NodeId x, std::size_t depth,
+                                               BuildMemo& memo) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | depth;
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
   auto tree = std::make_shared<ViewTree>();
   tree->root_color = p.is_home_base(x) ? 1 : 0;
-  if (depth == 0) return tree;
-  tree->children.reserve(g.degree(x));
-  for (PortId port = 0; port < g.degree(x); ++port) {
-    const graph::HalfEdge& h = g.peer(x, port);
-    ViewTree::Child child;
-    child.near_label = l.at(x, port);
-    child.far_label = l.at(h.to, h.to_port);
-    child.subtree = build_view_rec(g, p, l, h.to, depth - 1);
-    tree->children.push_back(std::move(child));
+  if (depth > 0) {
+    tree->children.reserve(g.degree(x));
+    for (PortId port = 0; port < g.degree(x); ++port) {
+      const graph::HalfEdge& h = g.peer(x, port);
+      ViewTree::Child child;
+      child.near_label = l.at(x, port);
+      child.far_label = l.at(h.to, h.to_port);
+      child.subtree = build_view_rec(g, p, l, h.to, depth - 1, memo);
+      tree->children.push_back(std::move(child));
+    }
   }
+  memo.emplace(key, tree);
   return tree;
 }
 
-// Recursively encodes a view with children sorted by their own encodings,
-// making the result independent of port order (view isomorphism ignores
-// port numbering; only labels matter).
-void encode_rec(const ViewTree& view, std::vector<std::uint64_t>& out) {
+// Encodes a view with children sorted by their own encodings, making the
+// result independent of port order (view isomorphism ignores port
+// numbering; only labels matter).  Memoized by subtree identity: a shared
+// subtree (every tree build_view returns is maximally shared) is encoded
+// once, not once per occurrence.
+using EncodeMemo =
+    std::unordered_map<const ViewTree*, std::vector<std::uint64_t>>;
+
+const std::vector<std::uint64_t>& encode_rec(const ViewTree& view,
+                                             EncodeMemo& memo) {
+  if (auto it = memo.find(&view); it != memo.end()) return it->second;
+  std::vector<std::uint64_t> out;
   out.push_back(0xFEED0000ULL + view.root_color);
   std::vector<std::vector<std::uint64_t>> child_words;
   child_words.reserve(view.children.size());
   for (const auto& child : view.children) {
     std::vector<std::uint64_t> w;
+    const std::vector<std::uint64_t>& sub = encode_rec(*child.subtree, memo);
+    w.reserve(1 + sub.size());
     w.push_back((static_cast<std::uint64_t>(child.near_label) << 32) |
                 child.far_label);
-    encode_rec(*child.subtree, w);
+    w.insert(w.end(), sub.begin(), sub.end());
     child_words.push_back(std::move(w));
   }
   std::sort(child_words.begin(), child_words.end());
@@ -50,6 +75,7 @@ void encode_rec(const ViewTree& view, std::vector<std::uint64_t>& out) {
     out.insert(out.end(), w.begin(), w.end());
   }
   out.push_back(0xFEED3000ULL);
+  return memo.emplace(&view, std::move(out)).first->second;
 }
 
 }  // namespace
@@ -61,27 +87,114 @@ ViewTree build_view(const graph::Graph& g, const graph::Placement& p,
   QELECT_CHECK(l.locally_distinct(g), "build_view: labeling must fit graph");
   QELECT_CHECK(p.node_count() == g.node_count(),
                "build_view: placement size mismatch");
-  return *build_view_rec(g, p, l, root, depth);
+  BuildMemo memo;
+  return *build_view_rec(g, p, l, root, depth, memo);
 }
 
 std::vector<std::uint64_t> encode_view(const ViewTree& view) {
+  EncodeMemo memo;
+  return encode_rec(view, memo);
+}
+
+ViewArena::ViewArena(const graph::Graph& g, const graph::Placement& p,
+                     const graph::EdgeLabeling& l)
+    : g_(g), p_(p), l_(l) {
+  QELECT_CHECK(l.locally_distinct(g), "ViewArena: labeling must fit graph");
+  QELECT_CHECK(p.node_count() == g.node_count(),
+               "ViewArena: placement size mismatch");
+}
+
+std::uint32_t ViewArena::view(NodeId root, std::size_t depth) {
+  QELECT_CHECK(root < g_.node_count(), "ViewArena::view: root out of range");
+  const std::uint32_t id = intern(root, depth);
+  enc_.resize(nodes_.size());
+  return id;
+}
+
+std::uint32_t ViewArena::intern(NodeId x, std::size_t depth) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | depth;
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  // Children are interned first so this node's ChildRef run is contiguous.
+  std::vector<ChildRef> kids;
+  if (depth > 0) {
+    kids.reserve(g_.degree(x));
+    for (PortId port = 0; port < g_.degree(x); ++port) {
+      const graph::HalfEdge& h = g_.peer(x, port);
+      kids.push_back(ChildRef{l_.at(x, port), l_.at(h.to, h.to_port),
+                              intern(h.to, depth - 1)});
+    }
+  }
+  Node node;
+  node.root_color = p_.is_home_base(x) ? 1 : 0;
+  node.first_child = static_cast<std::uint32_t>(children_.size());
+  node.child_count = static_cast<std::uint32_t>(kids.size());
+  children_.insert(children_.end(), kids.begin(), kids.end());
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(node);
+  memo_.emplace(key, id);
+  return id;
+}
+
+const std::vector<std::uint64_t>& ViewArena::encoding(std::uint32_t subtree) {
+  QELECT_CHECK(subtree < nodes_.size(), "ViewArena::encoding: bad id");
+  std::vector<std::uint64_t>& slot = enc_[subtree];
+  if (!slot.empty()) return slot;  // every encoding has >= 3 words
+  const Node& node = nodes_[subtree];
   std::vector<std::uint64_t> out;
-  encode_rec(view, out);
-  return out;
+  out.push_back(0xFEED0000ULL + node.root_color);
+  std::vector<std::vector<std::uint64_t>> child_words;
+  child_words.reserve(node.child_count);
+  for (std::uint32_t k = 0; k < node.child_count; ++k) {
+    const ChildRef& ch = children_[node.first_child + k];
+    std::vector<std::uint64_t> w;
+    const std::vector<std::uint64_t>& sub = encoding(ch.subtree);
+    w.reserve(1 + sub.size());
+    w.push_back((static_cast<std::uint64_t>(ch.near_label) << 32) |
+                ch.far_label);
+    w.insert(w.end(), sub.begin(), sub.end());
+    child_words.push_back(std::move(w));
+  }
+  std::sort(child_words.begin(), child_words.end());
+  out.push_back(0xFEED1000ULL + child_words.size());
+  for (const auto& w : child_words) {
+    out.push_back(0xFEED2000ULL);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  out.push_back(0xFEED3000ULL);
+  slot = std::move(out);
+  return slot;
+}
+
+std::vector<std::uint64_t> view_encoding(const graph::Graph& g,
+                                         const graph::Placement& p,
+                                         const graph::EdgeLabeling& l,
+                                         NodeId root, std::size_t depth) {
+  ViewArena arena(g, p, l);
+  return arena.encoding(arena.view(root, depth));
 }
 
 namespace {
 
-void collect_symbols(const ViewTree& view, std::vector<std::uint32_t>& out) {
+// Symbol collection and renaming are memoized by subtree identity for the
+// same reason encoding is: the trees build_view hands out are maximally
+// shared DAGs, and the qualitative minimization walks them 8! times.
+void collect_symbols(const ViewTree& view, std::vector<std::uint32_t>& out,
+                     std::unordered_set<const ViewTree*>& seen) {
+  if (!seen.insert(&view).second) return;
   for (const auto& child : view.children) {
     out.push_back(child.near_label);
     out.push_back(child.far_label);
-    collect_symbols(*child.subtree, out);
+    collect_symbols(*child.subtree, out, seen);
   }
 }
 
+using RenameMemo =
+    std::unordered_map<const ViewTree*, std::shared_ptr<const ViewTree>>;
+
 std::shared_ptr<const ViewTree> rename_tree(
-    const ViewTree& view, const std::map<std::uint32_t, std::uint32_t>& map) {
+    const ViewTree& view, const std::map<std::uint32_t, std::uint32_t>& map,
+    RenameMemo& memo) {
+  if (auto it = memo.find(&view); it != memo.end()) return it->second;
   auto out = std::make_shared<ViewTree>();
   out->root_color = view.root_color;
   out->children.reserve(view.children.size());
@@ -89,9 +202,10 @@ std::shared_ptr<const ViewTree> rename_tree(
     ViewTree::Child c;
     c.near_label = map.at(child.near_label);
     c.far_label = map.at(child.far_label);
-    c.subtree = rename_tree(*child.subtree, map);
+    c.subtree = rename_tree(*child.subtree, map, memo);
     out->children.push_back(std::move(c));
   }
+  memo.emplace(&view, out);
   return out;
 }
 
@@ -104,7 +218,8 @@ std::vector<std::uint64_t> encode_view_qualitative(const ViewTree& view) {
   // renamings -- exactly what an agent that can "produce its own encoding
   // of the colors" (Section 1.2) is able to compute about its own view.
   std::vector<std::uint32_t> symbols;
-  collect_symbols(view, symbols);
+  std::unordered_set<const ViewTree*> seen;
+  collect_symbols(view, symbols, seen);
   std::sort(symbols.begin(), symbols.end());
   symbols.erase(std::unique(symbols.begin(), symbols.end()), symbols.end());
   QELECT_CHECK(symbols.size() <= 8,
@@ -119,7 +234,8 @@ std::vector<std::uint64_t> encode_view_qualitative(const ViewTree& view) {
     for (std::size_t i = 0; i < symbols.size(); ++i) {
       renaming[symbols[i]] = perm[i];
     }
-    auto renamed = rename_tree(view, renaming);
+    RenameMemo rename_memo;
+    auto renamed = rename_tree(view, renaming, rename_memo);
     auto word = encode_view(*renamed);
     if (best.empty() || word < best) best = std::move(word);
   } while (std::next_permutation(perm.begin(), perm.end()));

@@ -1,0 +1,127 @@
+// CertificateCache: exactness of the structural key, hit/miss/eviction
+// behavior, hash-consing, and thread safety.  The MultithreadedHammer test
+// is the one the CI sanitizer job runs under TSan: every operation on the
+// cache goes through one mutex, and the test drives concurrent hits,
+// misses, racing inserts of the same key, and evictions through it.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "qelect/graph/families.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/iso/canonical.hpp"
+#include "qelect/iso/cert_cache.hpp"
+#include "qelect/iso/colored_digraph.hpp"
+
+namespace qelect::iso {
+namespace {
+
+using graph::Placement;
+
+ColoredDigraph instance(std::size_t ring_size, std::size_t base) {
+  const graph::Graph g = graph::ring(ring_size);
+  return from_bicolored_graph(
+      g, Placement(g.node_count(), {static_cast<graph::NodeId>(base)}));
+}
+
+TEST(CertCache, StructuralKeyIsExact) {
+  const ColoredDigraph a = instance(6, 0);
+  const ColoredDigraph b = instance(6, 0);
+  const ColoredDigraph c = instance(6, 1);  // isomorphic but not equal
+  EXPECT_EQ(structural_key(a), structural_key(b));
+  EXPECT_NE(structural_key(a), structural_key(c));
+}
+
+TEST(CertCache, HitReturnsTheSameSharedCertificate) {
+  CertificateCache cache(16);
+  const ColoredDigraph g = instance(5, 0);
+  const auto first = cache.certificate(g);
+  const auto second = cache.certificate(g);
+  EXPECT_EQ(first.get(), second.get());  // hash-consed, not just equal
+  EXPECT_EQ(*first, canonical_certificate(g));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(CertCache, IsomorphicButDistinctGraphsGetDistinctEntries) {
+  CertificateCache cache(16);
+  const auto ca = cache.certificate(instance(6, 0));
+  const auto cb = cache.certificate(instance(6, 1));
+  EXPECT_NE(ca.get(), cb.get());
+  EXPECT_EQ(*ca, *cb);  // same certificate value: the graphs are iso
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(CertCache, EvictsLeastRecentlyUsed) {
+  CertificateCache cache(2);
+  const ColoredDigraph a = instance(4, 0);
+  const ColoredDigraph b = instance(5, 0);
+  const ColoredDigraph c = instance(6, 0);
+  cache.certificate(a);
+  cache.certificate(b);
+  cache.certificate(a);  // refresh a: b is now the LRU entry
+  cache.certificate(c);  // evicts b
+  const auto s1 = cache.stats();
+  EXPECT_EQ(s1.evictions, 1u);
+  EXPECT_EQ(s1.entries, 2u);
+  EXPECT_NE(cache.lookup(structural_key(a)), nullptr);
+  EXPECT_EQ(cache.lookup(structural_key(b)), nullptr);
+  EXPECT_NE(cache.lookup(structural_key(c)), nullptr);
+}
+
+TEST(CertCache, ClearResetsEntriesAndStats) {
+  CertificateCache cache(8);
+  cache.certificate(instance(4, 0));
+  cache.clear();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits + s.misses + s.insertions + s.evictions, 0u);
+  EXPECT_EQ(s.capacity, 8u);
+}
+
+TEST(CertCache, RacingInsertKeepsOneValue) {
+  CertificateCache cache(8);
+  const ColoredDigraph g = instance(5, 0);
+  const Certificate cert = canonical_certificate(g);
+  const auto a = cache.insert(structural_key(g), cert);
+  const auto b = cache.insert(structural_key(g), cert);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(CertCache, MultithreadedHammer) {
+  // Small capacity on purpose: concurrent hits, misses, racing inserts of
+  // the same key, and evictions all happen at once.  Run under TSan in CI.
+  CertificateCache cache(4);
+  std::vector<ColoredDigraph> graphs;
+  std::vector<Certificate> expected;
+  for (std::size_t ring = 3; ring <= 8; ++ring) {
+    graphs.push_back(instance(ring, 0));
+    expected.push_back(canonical_certificate(graphs.back()));
+  }
+  constexpr unsigned kThreads = 8;
+  constexpr std::size_t kIters = 300;
+  std::vector<unsigned> wrong(kThreads, 0);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const std::size_t pick = (i * (t + 1) + t) % graphs.size();
+        const auto cert = cache.certificate(graphs[pick]);
+        if (*cert != expected[pick]) ++wrong[t];
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_EQ(wrong[t], 0u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kIters);
+  EXPECT_LE(s.entries, 4u);
+}
+
+}  // namespace
+}  // namespace qelect::iso

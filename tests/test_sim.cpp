@@ -345,23 +345,6 @@ TEST(World, SinkReceivesEveryStep) {
   EXPECT_EQ(sink.metadata().policy, "random");
   EXPECT_EQ(sink.summary().steps, r.steps);
   EXPECT_TRUE(sink.summary().completed);
-  // The deprecated in-result buffer stays empty unless explicitly enabled.
-  EXPECT_TRUE(r.events.empty());
-}
-
-// Back-compat for the deprecated RunConfig::record_events path; remove
-// together with RunResult::events.
-TEST(World, DeprecatedRecordEventsStillFillsResultBuffer) {
-  World w(graph::ring(4), graph::Placement(4, {0}), 4);
-  RunConfig cfg;
-  cfg.record_events = true;
-  const RunResult r = w.run(
-      [](AgentCtx& ctx) -> Behavior {
-        co_await ctx.move(0);
-        ctx.declare_leader();
-      },
-      cfg);
-  EXPECT_EQ(r.events.size(), r.steps);
 }
 
 // A contention-heavy protocol for the determinism tests: agents race

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_<name>.json files into one BENCH_summary.json.
+
+Usage:
+    tools/bench_summary.py [--dir DIR] [--out BENCH_summary.json]
+
+Collects every BENCH_*.json produced by the bench_* binaries (schema in
+bench/bench_json.hpp), merges them into a single machine-readable summary,
+and prints a compact table.  Mixing results from different builds is a
+measurement bug, so the script warns -- and marks the summary -- when the
+per-file config hashes disagree, and when any file was produced in smoke
+mode (QELECT_BENCH_SMOKE=1), whose timings are single uncalibrated runs.
+
+Exit status is 0 even on warnings: CI archives smoke-mode artifacts for
+schema checks, and gating on wall times of shared runners would flake.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    for key in ("bench", "smoke", "config_hash", "cases"):
+        if key not in data:
+            raise ValueError(f"{path}: missing key {key!r}")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", default=".", help="directory with BENCH_*.json")
+    ap.add_argument("--out", default="BENCH_summary.json")
+    args = ap.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    paths = [p for p in paths if os.path.basename(p) != "BENCH_summary.json"]
+    if not paths:
+        print(f"bench_summary: no BENCH_*.json under {args.dir}",
+              file=sys.stderr)
+        return 1
+
+    benches, warnings = [], []
+    for path in paths:
+        try:
+            benches.append(load(path))
+        except (ValueError, json.JSONDecodeError) as e:
+            warnings.append(f"skipping {path}: {e}")
+    hashes = sorted({b["config_hash"] for b in benches})
+    if len(hashes) > 1:
+        warnings.append(
+            "mixed config hashes (results from different builds): "
+            + ", ".join(hashes))
+    smoke = [b["bench"] for b in benches if b["smoke"]]
+    if smoke:
+        warnings.append("smoke-mode files (timings not calibrated): "
+                        + ", ".join(smoke))
+
+    total_cases = sum(len(b["cases"]) for b in benches)
+    speedups = {}
+    for b in benches:
+        for c in b["cases"]:
+            s = c.get("counters", {}).get("speedup_vs_seed")
+            if s is not None:
+                speedups[f"{b['bench']}/{c['name']}"] = s
+
+    summary = {
+        "config_hashes": hashes,
+        "benches": len(benches),
+        "cases": total_cases,
+        "warnings": warnings,
+        "speedups_vs_seed": speedups,
+        "files": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+
+    print(f"bench_summary: {len(benches)} files, {total_cases} cases "
+          f"-> {args.out}")
+    for w in warnings:
+        print(f"  WARNING: {w}")
+    if speedups:
+        print("  speedup_vs_seed:")
+        for k, v in sorted(speedups.items()):
+            print(f"    {k:48s} {v:7.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
