@@ -6,26 +6,28 @@
 //   Qualitative   |    No     |          ?            |        Yes
 //   Quantitative  |    Yes    |          Yes          |        Yes
 //
-// Every cell is backed by a concrete computation below, not just quoted:
+// Every cell is backed by a concrete computation, not just quoted:
 // impossibility cells run the indistinguishability / labeling arguments,
 // "Yes" cells run live protocols over instance sweeps, and the "?" cell
-// exhibits the Petersen instance that the paper leaves open.
+// exhibits the Petersen instance that the paper leaves open.  The cell
+// computations themselves run as the built-in "table1" campaign -- the
+// same tasks, store, and report `qelect run table1` produces -- so the
+// bench and the CLI can never disagree about a verdict.
 #include <cstdio>
+#include <filesystem>
 #include <map>
-#include <memory>
 
 #include "bench_json.hpp"
-#include "qelect/cayley/recognition.hpp"
-#include "qelect/cayley/translation.hpp"
+#include "qelect/campaign/builtin.hpp"
+#include "qelect/campaign/engine.hpp"
+#include "qelect/campaign/report.hpp"
+#include "qelect/campaign/task.hpp"
 #include "qelect/core/analysis.hpp"
-#include "qelect/core/baselines.hpp"
 #include "qelect/core/elect.hpp"
-#include "qelect/core/petersen.hpp"
 #include "qelect/core/surrounding.hpp"
-#include "qelect/graph/families.hpp"
+#include "qelect/graph/placement.hpp"
 #include "qelect/iso/reference.hpp"
 #include "qelect/sim/world.hpp"
-#include "qelect/util/table.hpp"
 
 namespace {
 
@@ -38,32 +40,15 @@ struct Inst {
   Placement p;
 };
 
+/// The campaign's fixed instance suite, materialized for the timing block.
 std::vector<Inst> sweep_instances() {
   std::vector<Inst> out;
-  out.push_back({"C5{0,1}", graph::ring(5), Placement(5, {0, 1})});
-  out.push_back({"C6{0,2}", graph::ring(6), Placement(6, {0, 2})});
-  out.push_back({"C6{0,3}", graph::ring(6), Placement(6, {0, 3})});
-  out.push_back({"C4{0,1}", graph::ring(4), Placement(4, {0, 1})});
-  out.push_back({"K2{0,1}", graph::complete(2), Placement(2, {0, 1})});
-  out.push_back({"Q3{0,3,5}", graph::hypercube(3), Placement(8, {0, 3, 5})});
-  out.push_back({"Q3{0,7}", graph::hypercube(3), Placement(8, {0, 7})});
-  out.push_back({"T33{0,4}", graph::torus({3, 3}), Placement(9, {0, 4})});
-  out.push_back({"K5{0,1}", graph::complete(5), Placement(5, {0, 1})});
+  for (const campaign::Table1Instance& inst : campaign::table1_instances()) {
+    graph::Graph g = inst.graph.build();
+    const std::size_t n = g.node_count();
+    out.push_back({inst.name, std::move(g), Placement(n, inst.home_bases)});
+  }
   return out;
-}
-
-// Anonymous model: the Section 1.3 lockstep indistinguishability.
-bool anonymous_counterexample_holds() {
-  const std::size_t steps = 12;
-  sim::RunConfig lockstep;
-  lockstep.policy = sim::SchedulerPolicy::Lockstep;
-  auto t3 = std::make_shared<core::WalkTraces>();
-  sim::World w3(graph::ring(3), Placement(3, {0}), 1);
-  w3.run(core::make_anonymous_walker(t3, steps), lockstep);
-  auto t6 = std::make_shared<core::WalkTraces>();
-  sim::World w6(graph::ring(6), Placement(6, {0, 3}), 2);
-  w6.run(core::make_anonymous_walker(t6, steps), lockstep);
-  return (*t6)[0] == (*t3)[0] && (*t6)[1] == (*t3)[0];
 }
 
 }  // namespace
@@ -71,98 +56,19 @@ bool anonymous_counterexample_holds() {
 int main() {
   std::printf("== T1: Table 1 reproduction ==\n\n");
 
-  // --- Anonymous row ---
-  const bool anon = anonymous_counterexample_holds();
-  std::printf(
-      "[anonymous] C_3/1-agent vs C_6/2-antipodal lockstep histories "
-      "identical: %s\n"
-      "  => no universal and no effectual anonymous protocol (rings are "
-      "Cayley, so the Cayley column is No too)\n",
-      anon ? "yes" : "NO (unexpected)");
-
-  // --- Qualitative row ---
-  // Universal = No: K_2 is impossible (exhaustive Theorem 2.1 search).
-  const bool k2_impossible = core::impossibility_by_exhaustive_labelings(
-      graph::complete(2), Placement(2, {0, 1}), 2);
-  std::printf(
-      "[qualitative] K_2 both-agents impossible by exhaustive labelings: "
-      "%s => not universal\n",
-      k2_impossible ? "yes" : "NO (unexpected)");
-
-  // Effectual on Cayley = Yes: live sweep; ELECT's answer must match the
-  // corrected translation-obstruction test on every Cayley instance.
-  std::size_t cayley_checked = 0, cayley_agreed = 0;
-  std::size_t live_ok = 0, live_total = 0;
-  for (const Inst& inst : sweep_instances()) {
-    const auto rec = cayley::recognize_cayley(inst.g);
-    const auto plan = core::protocol_plan(inst.g, inst.p);
-    if (rec.is_cayley) {
-      ++cayley_checked;
-      const std::size_t obstruction =
-          cayley::max_translation_obstruction(rec.regular_subgroups, inst.p);
-      if ((plan.final_gcd > 1) == (obstruction > 1)) ++cayley_agreed;
-    }
-    sim::World w(inst.g, inst.p, 7);
-    const auto r = w.run(core::make_elect_protocol(), {});
-    ++live_total;
-    if (r.completed &&
-        r.clean_election() == (plan.final_gcd == 1) &&
-        r.clean_failure() == (plan.final_gcd != 1)) {
-      ++live_ok;
-    }
+  // Run the built-in table1 campaign into a throwaway store and fold the
+  // committed records into the feasibility matrix.
+  const std::string store_path = "BENCH_table1.results.jsonl";
+  std::filesystem::remove(store_path);
+  const auto result = campaign::run_campaign(
+      campaign::builtin_spec("table1"), store_path, {});
+  const auto store = campaign::load_store(store_path);
+  const campaign::Table1Matrix matrix = campaign::table1_matrix(store);
+  campaign::print_table1(matrix);
+  if (!result.complete() || result.failed + result.timeout > 0) {
+    std::printf("WARNING: campaign incomplete (%zu failed, %zu timeout)\n",
+                result.failed, result.timeout);
   }
-  std::printf(
-      "[qualitative] Cayley dichotomy (gcd>1 <=> translation obstruction): "
-      "%zu/%zu instances agree\n",
-      cayley_agreed, cayley_checked);
-  std::printf(
-      "[qualitative] live ELECT matches the oracle on %zu/%zu instances\n",
-      live_ok, live_total);
-
-  // Effectual on arbitrary graphs = ?: the Petersen witness.
-  {
-    const graph::Graph g = graph::petersen();
-    const Placement p(10, {0, 5});
-    const auto plan = core::protocol_plan(g, p);
-    sim::World we(g, p, 3);
-    const auto relect = we.run(core::make_elect_protocol(), {});
-    sim::World wp(g, p, 3);
-    const auto radhoc = wp.run(core::make_petersen_protocol(), {});
-    std::printf(
-        "[qualitative] Petersen{0,5}: gcd=%llu, ELECT %s, ad-hoc protocol "
-        "%s => ELECT is not effectual beyond Cayley graphs ('?' cell)\n",
-        (unsigned long long)plan.final_gcd,
-        relect.clean_failure() ? "fails" : "?",
-        radhoc.clean_election() ? "elects" : "?");
-  }
-
-  // --- Quantitative row = Yes everywhere: live sweep. ---
-  std::size_t quant_ok = 0, quant_total = 0;
-  for (const Inst& inst : sweep_instances()) {
-    sim::World w = sim::World::quantitative(inst.g, inst.p, 11);
-    const auto r = w.run(core::make_quantitative_protocol(), {});
-    ++quant_total;
-    if (r.clean_election()) ++quant_ok;
-  }
-  std::printf(
-      "[quantitative] universal protocol elects on %zu/%zu instances "
-      "(including every qualitatively-impossible one)\n\n",
-      quant_ok, quant_total);
-
-  // --- The reproduced table ---
-  TextTable table("Table 1 (reproduced)",
-                  {"Agents", "Universal", "effectual/arbitrary",
-                   "effectual/Cayley"});
-  table.add_row({"Anonymous", anon ? "No" : "??", anon ? "No" : "??",
-                 anon ? "No" : "??"});
-  table.add_row({"Qualitative", k2_impossible ? "No" : "??", "?",
-                 (cayley_agreed == cayley_checked && live_ok == live_total)
-                     ? "Yes"
-                     : "??"});
-  table.add_row({"Quantitative", quant_ok == quant_total ? "Yes" : "??",
-                 quant_ok == quant_total ? "Yes" : "??",
-                 quant_ok == quant_total ? "Yes" : "??"});
-  table.print();
 
   // --- Machine-readable timings (BENCH_table1.json) ---
   // The analysis hot path is COMPUTE&ORDER's surrounding-classes kernel,
@@ -202,11 +108,11 @@ int main() {
       }
     });
     rep.counter("live_elect_sweep", "live_ok",
-                static_cast<double>(live_ok));
+                static_cast<double>(matrix.live_ok));
     rep.counter("live_elect_sweep", "live_total",
-                static_cast<double>(live_total));
+                static_cast<double>(matrix.live_total));
     rep.counter("live_elect_sweep", "quant_ok",
-                static_cast<double>(quant_ok));
+                static_cast<double>(matrix.quant_ok));
     rep.write();
   }
   return 0;

@@ -1,0 +1,28 @@
+// The built-in campaign catalog: every paper artifact as a campaign.
+//
+// These specs make `qelect run <name>` the single entry point for
+// reproducing the paper: the Table 1 feasibility matrix, the Theorem 3.1
+// O(r|E|) move curves, and the n <= 6 election landscape all run through
+// the same engine, store, and resume machinery as user-supplied specs.
+// bench_table1 and bench_landscape execute exactly these specs, so the CLI
+// and the benches can never drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qelect/campaign/spec.hpp"
+
+namespace qelect::campaign {
+
+/// Names in catalog order: "table1", "landscape", "landscape-n5", "th31a",
+/// "th31b", "rings-smoke".
+std::vector<std::string> builtin_names();
+
+/// True if `name` is in the catalog.
+bool is_builtin(const std::string& name);
+
+/// Returns the named spec; throws CheckError for unknown names.
+CampaignSpec builtin_spec(const std::string& name);
+
+}  // namespace qelect::campaign

@@ -1,0 +1,79 @@
+// The campaign engine: sharded, fault-isolated, resumable execution.
+//
+// run_campaign expands the spec, loads the result store, skips every task
+// whose key already has a terminal record, and executes the remainder on a
+// pool of worker shards (dynamic claiming, so one expensive task never
+// serializes a block of cheap ones behind it).  Each task attempt runs
+// under a cooperative deadline and full exception isolation: a throwing or
+// timed-out task is retried up to the configured budget and then committed
+// as `failed`/`timeout` with its error text -- sibling shards never notice.
+//
+// Shard completions are re-ordered before hitting the store, so records
+// land in task order and any kill point leaves a store that is a clean
+// prefix of the campaign: resuming appends exactly the missing suffix,
+// which is what makes an interrupted-then-resumed store byte-identical to
+// an uninterrupted one (with deterministic == true zeroing wall-clock
+// durations, the one nondeterministic field).
+//
+// Live progress streams through the qelect_trace sink API: begin_run
+// carries the campaign shape (label = name, max_steps = task count,
+// agent_count = shards), one TaskOk/TaskFail event fires per commit
+// (step = commit index, agent = shard, node = task index), and end_run
+// summarizes (total_moves = ok count, total_board_accesses = failures).
+// Attach a JsonlSink for a machine-readable progress feed or a
+// CountingSink for per-shard throughput, exactly as with simulator runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "qelect/campaign/spec.hpp"
+#include "qelect/campaign/store.hpp"
+
+namespace qelect::trace {
+class TraceSink;
+}  // namespace qelect::trace
+
+namespace qelect::campaign {
+
+struct EngineOptions {
+  /// Worker shards; 0 = hardware concurrency (clamped to the task count).
+  unsigned shards = 0;
+  /// Override spec.retries when >= 0.
+  int retries = -1;
+  /// Override spec.timeout_seconds when >= 0.
+  double timeout_seconds = -1;
+  /// Write duration_seconds as 0 so stores are byte-reproducible.
+  bool deterministic = false;
+  /// Stop committing after this many newly executed tasks (0 = run to
+  /// completion).  The simulated mid-run kill: the store is left a valid
+  /// prefix checkpoint, exactly like a crash between appends.
+  std::size_t stop_after = 0;
+  /// Live progress sink (see header comment); may be null.
+  trace::TraceSink* progress = nullptr;
+  /// Print one status line per `echo_every` commits and per failure to
+  /// stdout (0 = silent).
+  std::size_t echo_every = 0;
+};
+
+struct CampaignResult {
+  std::size_t total = 0;     // tasks in the expansion
+  std::size_t skipped = 0;   // already terminal in the store (not re-run)
+  std::size_t executed = 0;  // committed by this invocation
+  std::size_t ok = 0;        // of executed
+  std::size_t failed = 0;    // of executed (exhausted retries)
+  std::size_t timeout = 0;   // of executed (deadline tripped, all attempts)
+  std::size_t retried = 0;   // extra attempts beyond the first, summed
+  bool stopped_early = false;
+  bool complete() const { return skipped + executed == total; }
+  double wall_seconds = 0;
+};
+
+/// Runs (or resumes -- the store decides) a campaign against the store at
+/// `store_path`.  Throws CheckError for spec/store mismatches; task
+/// failures never throw.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::string& store_path,
+                            const EngineOptions& options = {});
+
+}  // namespace qelect::campaign

@@ -1,0 +1,81 @@
+// Reports: turning a result store back into the paper's tables.
+//
+// Reports are pure store consumers -- they read committed TaskRecords and
+// never re-run anything, so `qelect report` on a finished (or half-
+// finished) store is instant.  The Table 1 matrix and the landscape table
+// print the same layout as bench_table1 / bench_landscape, which is what
+// lets those benches route through the campaign engine without changing
+// their observable output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qelect/campaign/store.hpp"
+
+namespace qelect::campaign {
+
+/// The Table 1 feasibility matrix, folded out of a "table1" store.
+struct Table1Matrix {
+  bool anon_holds = false;       // lockstep indistinguishability verified
+  bool k2_impossible = false;    // exhaustive labeling impossibility on K_2
+  std::size_t cayley_checked = 0;
+  std::size_t cayley_agreed = 0;
+  std::size_t live_ok = 0;       // ELECT matches the gcd oracle
+  std::size_t live_total = 0;
+  std::size_t quant_ok = 0;      // quantitative protocol elects cleanly
+  std::size_t quant_total = 0;
+  std::uint64_t petersen_gcd = 0;
+  bool petersen_elect_fails = false;
+  bool petersen_adhoc_elects = false;
+  std::size_t missing = 0;  // table1 records absent or non-ok in the store
+
+  bool qualitative_cayley_yes() const {
+    return cayley_agreed == cayley_checked && cayley_checked > 0 &&
+           live_ok == live_total && live_total > 0;
+  }
+  bool quantitative_yes() const {
+    return quant_ok == quant_total && quant_total > 0;
+  }
+};
+
+/// Folds every "table1/..." record in the store into the matrix.
+Table1Matrix table1_matrix(const LoadedStore& store);
+
+/// Prints the narrative cell evidence plus the reproduced TextTable,
+/// matching bench_table1's layout verdict for verdict.
+void print_table1(const Table1Matrix& m);
+
+/// One per-n row of the landscape classification table.
+struct LandscapeRow {
+  std::size_t n = 0;
+  std::size_t graphs = 0;     // distinct isomorphism classes seen
+  std::size_t instances = 0;  // ok-classified (G, p) pairs
+  std::size_t elect = 0;
+  std::size_t imposs_cayley = 0;
+  std::size_t imposs_labeling = 0;
+  std::size_t open = 0;
+  std::size_t violations = 0;
+  std::size_t failed = 0;  // records with a non-ok outcome
+};
+
+/// Groups the store's "analyze" records by the n metric (non-analyze
+/// records are ignored).  Rows come back sorted by n.
+std::vector<LandscapeRow> landscape_rows(const LoadedStore& store);
+
+/// Prints the landscape classification table (bench_landscape's layout,
+/// plus a failures column when any task failed).
+void print_landscape(const std::vector<LandscapeRow>& rows);
+
+/// Prints a progress/outcome summary for any store: spec identity, task
+/// counts by outcome, retries, pending count against the re-expanded spec.
+void print_status(const std::string& store_path);
+
+/// Prints the workload-appropriate report for the store: the Table 1
+/// matrix for "table1" campaigns, the landscape table for "analyze", a
+/// per-graph moves-vs-budget table for "moves", and an outcome summary
+/// for everything else.
+void print_report(const std::string& store_path);
+
+}  // namespace qelect::campaign

@@ -1,0 +1,94 @@
+// The result store: an append-only JSONL file that doubles as the
+// campaign's checkpoint.
+//
+// Line 1 is the campaign header (name, spec hash, and the full canonical
+// spec, so a store is self-describing -- `qelect resume <store>` needs no
+// other input).  Every following line is one committed task:
+//
+//   {"type":"task","key":"analyze/ring(6)/p=0.2/s=1","outcome":"ok",
+//    "attempts":1,"duration_seconds":0.0012,"error":"",
+//    "metrics":{"final_gcd":1,"class":0,...}}
+//
+// Records are committed in task order (the engine reorders shard
+// completions before writing), so a store produced by any prefix of a run
+// is itself a valid checkpoint, and a killed-then-resumed campaign
+// re-produces the uninterrupted file byte for byte when durations are
+// written deterministically.  The loader tolerates a torn final line (a
+// crash mid-write); the writer truncates the torn tail before appending.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace qelect::campaign {
+
+/// One committed task.
+struct TaskRecord {
+  std::string key;
+  std::string outcome;  // "ok" | "failed" | "timeout"
+  int attempts = 1;
+  double duration_seconds = 0;
+  std::string error;  // last attempt's exception text; empty when ok
+  std::vector<std::pair<std::string, double>> metrics;
+
+  bool ok() const { return outcome == "ok"; }
+
+  /// Metric lookup; returns `fallback` when absent.
+  double metric_or(const std::string& name, double fallback) const;
+
+  /// The store line (without trailing newline); fixed field order.
+  std::string to_json() const;
+};
+
+/// The header line.
+struct StoreHeader {
+  std::string name;
+  std::uint64_t spec_hash = 0;
+  std::string spec_json;  // canonical CampaignSpec serialization
+};
+
+/// A parsed store file.
+struct LoadedStore {
+  bool exists = false;
+  bool has_header = false;
+  bool torn_tail = false;       // final line was incomplete/corrupt
+  std::size_t valid_bytes = 0;  // prefix ending after the last intact line
+  StoreHeader header;
+  std::vector<TaskRecord> records;  // in file order
+
+  /// Last record per key (file order; later lines win).
+  std::unordered_map<std::string, const TaskRecord*> by_key() const;
+};
+
+/// Reads a store; a missing file yields exists == false.  Malformed
+/// interior lines throw CheckError (the file is not a store); only the
+/// final line is allowed to be torn.
+LoadedStore load_store(const std::string& path);
+
+/// Append-side of the store.  Opening truncates a torn tail, verifies the
+/// header's spec hash against `header` (CheckError on mismatch -- wrong
+/// store for this campaign), and writes the header line for a new file.
+/// Parent directories are created as needed.
+class StoreWriter {
+ public:
+  StoreWriter(const std::string& path, const StoreHeader& header);
+
+  /// Appends one record line and flushes (a record is durable once
+  /// append returns; kill points fall between lines).
+  void append(const TaskRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+std::string header_to_json(const StoreHeader& header);
+
+}  // namespace qelect::campaign

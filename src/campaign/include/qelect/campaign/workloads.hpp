@@ -1,0 +1,48 @@
+// Workload runners: TaskSpec in, metrics out.
+//
+// Each workload is a pure function of the task (graphs are rebuilt from
+// the GraphRef, seeds are explicit), so a task produces identical metrics
+// on any shard, any run, any resume -- the determinism the byte-for-byte
+// store tests pin down.  Workloads poll the CancelToken between heavy
+// stages; a tripped token surfaces as qelect::Cancelled, which the engine
+// records as the `timeout` outcome.
+//
+// Classification codes for the "analyze" workload (`class` metric) mirror
+// the landscape taxonomy:
+//   0 elect            gcd of ~ class sizes is 1 (Theorem 3.1)
+//   1 imposs-cayley    a regular subgroup has |R_p| > 1 (corrected Thm 4.1)
+//   2 imposs-labeling  exhaustive Theorem 2.1 labeling search succeeded
+//   3 open             gcd > 1, no impossibility proof within budget
+//   4 violation        Cayley with gcd > 1 but no obstruction (would refute
+//                      the corrected dichotomy; never observed)
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qelect/campaign/task.hpp"
+#include "qelect/util/cancel.hpp"
+
+namespace qelect::campaign {
+
+inline constexpr double kClassElect = 0;
+inline constexpr double kClassImpossCayley = 1;
+inline constexpr double kClassImpossLabeling = 2;
+inline constexpr double kClassOpen = 3;
+inline constexpr double kClassViolation = 4;
+
+/// Stable name for a classification code ("elect", "imposs-cayley", ...).
+const char* classification_name(double code);
+
+/// Executes one task.  Throws on failure (unknown workload, CheckError
+/// from the libraries, Cancelled on timeout); the engine translates
+/// exceptions into failed/timeout records.
+std::vector<std::pair<std::string, double>> run_task(const TaskSpec& task,
+                                                     const CancelToken& cancel);
+
+/// Number of locally-distinct labelings of g over `alphabet` symbols (the
+/// Theorem 2.1 search space; shared by the analyze workload and reports).
+double labeling_count(const graph::Graph& g, std::size_t alphabet);
+
+}  // namespace qelect::campaign

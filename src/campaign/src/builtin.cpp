@@ -1,0 +1,99 @@
+#include "qelect/campaign/builtin.hpp"
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+
+namespace {
+
+CampaignSpec table1() {
+  CampaignSpec spec;
+  spec.name = "table1";
+  spec.workload = "table1";
+  return spec;
+}
+
+/// The full election landscape: every connected graph on n in [lo, hi]
+/// crossed with every placement, classified by the analyze workload.
+CampaignSpec landscape(std::size_t lo, std::size_t hi, std::string name) {
+  CampaignSpec spec;
+  spec.name = std::move(name);
+  spec.workload = "analyze";
+  spec.graphs.push_back({"all-connected", lo, hi, {}});
+  spec.placements.mode = PlacementAxis::Mode::Enumerate;
+  spec.placements.agents_min = 1;
+  spec.placements.agents_max = 0;  // up to n
+  return spec;
+}
+
+/// TH31a: moves vs agent count at fixed topologies (ring16, Q3, torus4x4,
+/// random16), r = 1..8, three random placements each.
+CampaignSpec th31a() {
+  CampaignSpec spec;
+  spec.name = "th31a";
+  spec.workload = "moves";
+  spec.graphs.push_back({"ring", 16, 16, {}});
+  spec.graphs.push_back({"hypercube", 3, 3, {}});
+  spec.graphs.push_back({"torus", 0, 0, {4, 4}});
+  spec.graphs.push_back({"random", 16, 16, {1, 30}});
+  spec.placements.mode = PlacementAxis::Mode::Random;
+  spec.placements.agents_min = 1;
+  spec.placements.agents_max = 8;
+  spec.placements.seeds = 3;
+  return spec;
+}
+
+/// TH31b: moves vs edge count at fixed r = 3 (growing rings, hypercubes,
+/// random graphs).
+CampaignSpec th31b() {
+  CampaignSpec spec;
+  spec.name = "th31b";
+  spec.workload = "moves";
+  spec.graphs.push_back({"ring", 6, 24, {}});
+  spec.graphs.push_back({"hypercube", 3, 4, {}});
+  spec.graphs.push_back({"random", 8, 16, {1, 30}});
+  spec.placements.mode = PlacementAxis::Mode::Random;
+  spec.placements.agents_min = 3;
+  spec.placements.agents_max = 3;
+  spec.placements.seeds = 3;
+  return spec;
+}
+
+/// Tiny live-protocol sweep for CI smoke and kill/resume demos: ELECT on
+/// every 1- and 2-agent placement of rings up to n = 8.
+CampaignSpec rings_smoke() {
+  CampaignSpec spec;
+  spec.name = "rings-smoke";
+  spec.workload = "elect";
+  spec.graphs.push_back({"ring", 3, 8, {}});
+  spec.placements.mode = PlacementAxis::Mode::Enumerate;
+  spec.placements.agents_min = 1;
+  spec.placements.agents_max = 2;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_names() {
+  return {"table1", "landscape", "landscape-n5", "th31a", "th31b",
+          "rings-smoke"};
+}
+
+bool is_builtin(const std::string& name) {
+  for (const std::string& b : builtin_names()) {
+    if (b == name) return true;
+  }
+  return false;
+}
+
+CampaignSpec builtin_spec(const std::string& name) {
+  if (name == "table1") return table1();
+  if (name == "landscape") return landscape(2, 6, "landscape");
+  if (name == "landscape-n5") return landscape(2, 5, "landscape-n5");
+  if (name == "th31a") return th31a();
+  if (name == "th31b") return th31b();
+  if (name == "rings-smoke") return rings_smoke();
+  throw CheckError("unknown built-in campaign '" + name + "'");
+}
+
+}  // namespace qelect::campaign

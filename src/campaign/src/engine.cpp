@@ -1,0 +1,207 @@
+#include "qelect/campaign/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "qelect/campaign/task.hpp"
+#include "qelect/campaign/workloads.hpp"
+#include "qelect/trace/sink.hpp"
+#include "qelect/util/assert.hpp"
+#include "qelect/util/parallel.hpp"
+
+namespace qelect::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One task, all attempts.  Exceptions never escape: every failure mode
+/// becomes a record.
+TaskRecord execute_task(const TaskSpec& task, const CampaignSpec& spec,
+                        int retries, double timeout_seconds,
+                        bool deterministic) {
+  TaskRecord record;
+  record.key = task.key;
+  const Clock::time_point t0 = Clock::now();
+  bool last_was_timeout = false;
+  for (int attempt = 1; attempt <= retries + 1; ++attempt) {
+    record.attempts = attempt;
+    try {
+      if (!spec.inject.match.empty() && attempt <= spec.inject.fail_attempts &&
+          task.key.find(spec.inject.match) != std::string::npos) {
+        throw std::runtime_error("injected failure (attempt " +
+                                 std::to_string(attempt) + ")");
+      }
+      const CancelSource deadline =
+          CancelSource::with_timeout(timeout_seconds);
+      record.metrics = run_task(task, deadline.token());
+      record.outcome = "ok";
+      record.error.clear();
+      break;
+    } catch (const Cancelled& e) {
+      last_was_timeout = true;
+      record.error = e.what();
+    } catch (const std::exception& e) {
+      last_was_timeout = false;
+      record.error = e.what();
+    } catch (...) {
+      last_was_timeout = false;
+      record.error = "unknown exception";
+    }
+    record.outcome = last_was_timeout ? "timeout" : "failed";
+    record.metrics.clear();
+  }
+  record.duration_seconds = deterministic ? 0 : seconds_since(t0);
+  return record;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::string& store_path,
+                            const EngineOptions& options) {
+  const Clock::time_point wall0 = Clock::now();
+  const std::vector<TaskSpec> tasks = expand_tasks(spec);
+
+  StoreHeader header;
+  header.name = spec.name;
+  header.spec_json = spec.to_json();
+  header.spec_hash = spec.spec_hash();
+
+  // Load-before-write: terminal keys are skipped, everything else runs.
+  const LoadedStore prior = load_store(store_path);
+  const auto done = prior.by_key();
+  std::vector<std::size_t> pending;  // indices into tasks, in task order
+  pending.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (done.find(tasks[i].key) == done.end()) pending.push_back(i);
+  }
+
+  CampaignResult result;
+  result.total = tasks.size();
+  result.skipped = tasks.size() - pending.size();
+
+  StoreWriter writer(store_path, header);
+
+  const int retries = options.retries >= 0 ? options.retries : spec.retries;
+  const double timeout_seconds = options.timeout_seconds >= 0
+                                     ? options.timeout_seconds
+                                     : spec.timeout_seconds;
+  const unsigned shards = resolve_parallel_threads(
+      options.shards, pending.empty() ? 1 : pending.size());
+
+  if (options.progress != nullptr) {
+    trace::RunMetadata meta;
+    meta.label = spec.name;
+    meta.node_count = tasks.size();
+    meta.agent_count = shards;
+    meta.policy = "campaign";
+    meta.seed = header.spec_hash;
+    meta.max_steps = tasks.size();
+    options.progress->begin_run(meta);
+  }
+
+  // Shared commit state: shard completions are staged per pending-index
+  // and flushed strictly in order, so the store only ever grows by the
+  // next record in task order.
+  std::mutex mu;
+  std::map<std::size_t, std::pair<unsigned, TaskRecord>> staged;
+  std::size_t next_commit = 0;
+  CancelSource stop;
+  const CancelToken stop_token = stop.token();
+  std::atomic<std::size_t> next_claim{0};
+
+  auto drain_commits_locked = [&] {
+    for (auto it = staged.find(next_commit); it != staged.end();
+         it = staged.find(next_commit)) {
+      if (options.stop_after > 0 && result.executed >= options.stop_after) {
+        result.stopped_early = true;
+        stop.cancel();
+        return;
+      }
+      const auto& [shard, record] = it->second;
+      writer.append(record);
+      ++result.executed;
+      if (record.outcome == "ok") {
+        ++result.ok;
+      } else if (record.outcome == "timeout") {
+        ++result.timeout;
+      } else {
+        ++result.failed;
+      }
+      result.retried += static_cast<std::size_t>(record.attempts - 1);
+      if (options.progress != nullptr) {
+        trace::TraceEvent event;
+        event.step = result.executed - 1;
+        event.agent = shard;
+        event.kind = record.ok() ? trace::TraceEvent::Kind::TaskOk
+                                 : trace::TraceEvent::Kind::TaskFail;
+        event.node = static_cast<graph::NodeId>(pending[next_commit]);
+        options.progress->on_event(event);
+      }
+      if (options.echo_every > 0 &&
+          (!record.ok() || result.executed % options.echo_every == 0 ||
+           result.executed == pending.size())) {
+        if (record.ok()) {
+          std::printf("  [%zu/%zu] ok (%zu failed, %zu timeout)\n",
+                      result.executed, pending.size(), result.failed,
+                      result.timeout);
+        } else {
+          std::printf("  [%zu/%zu] %s %s: %s\n", result.executed,
+                      pending.size(), record.outcome.c_str(),
+                      record.key.c_str(), record.error.c_str());
+        }
+        std::fflush(stdout);
+      }
+      staged.erase(it);
+      ++next_commit;
+    }
+  };
+
+  auto worker = [&](unsigned shard) {
+    for (;;) {
+      if (stop_token.cancelled()) return;
+      const std::size_t slot =
+          next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= pending.size()) return;
+      TaskRecord record =
+          execute_task(tasks[pending[slot]], spec, retries, timeout_seconds,
+                       options.deterministic);
+      std::lock_guard<std::mutex> lock(mu);
+      staged.emplace(slot, std::make_pair(shard, std::move(record)));
+      drain_commits_locked();
+    }
+  };
+
+  if (shards <= 1 || pending.size() <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards);
+    for (unsigned t = 0; t < shards; ++t) pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+
+  result.wall_seconds = seconds_since(wall0);
+  if (options.progress != nullptr) {
+    trace::RunSummary summary;
+    summary.steps = result.executed;
+    summary.total_moves = result.ok;
+    summary.total_board_accesses = result.failed + result.timeout;
+    summary.completed = result.complete();
+    summary.step_limit = result.stopped_early;
+    options.progress->end_run(summary);
+  }
+  return result;
+}
+
+}  // namespace qelect::campaign

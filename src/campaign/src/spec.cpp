@@ -1,0 +1,169 @@
+#include "qelect/campaign/spec.hpp"
+
+#include <sstream>
+
+#include "qelect/campaign/json.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+
+namespace {
+
+const char* mode_name(PlacementAxis::Mode mode) {
+  switch (mode) {
+    case PlacementAxis::Mode::Enumerate:
+      return "enumerate";
+    case PlacementAxis::Mode::Random:
+      return "random";
+    case PlacementAxis::Mode::Fixed:
+      return "fixed";
+  }
+  return "?";
+}
+
+PlacementAxis::Mode mode_from_name(const std::string& name) {
+  if (name == "enumerate") return PlacementAxis::Mode::Enumerate;
+  if (name == "random") return PlacementAxis::Mode::Random;
+  if (name == "fixed") return PlacementAxis::Mode::Fixed;
+  throw CheckError("campaign spec: unknown placement mode '" + name + "'");
+}
+
+template <typename T>
+void append_number_array(std::ostringstream& out, const std::vector<T>& xs) {
+  out << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out << ',';
+    out << static_cast<unsigned long long>(xs[i]);
+  }
+  out << ']';
+}
+
+template <typename T>
+std::vector<T> number_array(const JsonValue& v) {
+  std::vector<T> out;
+  for (const JsonValue& x : v.as_array()) {
+    out.push_back(static_cast<T>(x.as_int()));
+  }
+  return out;
+}
+
+void check_known_keys(const JsonValue& obj,
+                      std::initializer_list<const char*> known,
+                      const std::string& where) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    QELECT_CHECK(ok, "campaign spec: unknown key '" + key + "' in " + where);
+  }
+}
+
+}  // namespace
+
+std::string CampaignSpec::to_json() const {
+  std::ostringstream out;
+  out << "{\"name\":" << json_quote(name)
+      << ",\"workload\":" << json_quote(workload) << ",\"graphs\":[";
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const GraphAxis& a = graphs[i];
+    if (i > 0) out << ',';
+    out << "{\"family\":" << json_quote(a.family) << ",\"n\":[" << a.n_min
+        << ',' << a.n_max << "],\"params\":";
+    append_number_array(out, a.params);
+    out << '}';
+  }
+  out << "],\"placements\":{\"mode\":" << json_quote(mode_name(placements.mode))
+      << ",\"agents\":[" << placements.agents_min << ','
+      << placements.agents_max << "],\"seeds\":" << placements.seeds
+      << ",\"fixed\":";
+  append_number_array(out, placements.fixed);
+  out << "},\"color_seeds\":";
+  append_number_array(out, color_seeds);
+  out << ",\"scheduler\":" << json_quote(scheduler)
+      << ",\"max_steps\":" << max_steps << ",\"retries\":" << retries
+      << ",\"timeout_seconds\":" << json_number(timeout_seconds)
+      << ",\"labeling_budget\":" << json_number(labeling_budget)
+      << ",\"inject\":{\"match\":" << json_quote(inject.match)
+      << ",\"fail_attempts\":" << inject.fail_attempts << "}}";
+  return out.str();
+}
+
+std::uint64_t CampaignSpec::spec_hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : to_json()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  check_known_keys(root,
+                   {"name", "workload", "graphs", "placements", "color_seeds",
+                    "scheduler", "max_steps", "retries", "timeout_seconds",
+                    "labeling_budget", "inject"},
+                   "spec");
+  CampaignSpec spec;
+  spec.name = root.require("name").as_string();
+  spec.workload = root.require("workload").as_string();
+  if (const JsonValue* graphs = root.find("graphs")) {
+    for (const JsonValue& g : graphs->as_array()) {
+      check_known_keys(g, {"family", "n", "params"}, "graph axis");
+      GraphAxis axis;
+      axis.family = g.require("family").as_string();
+      if (const JsonValue* n = g.find("n")) {
+        const auto& range = n->as_array();
+        QELECT_CHECK(range.size() == 2,
+                     "campaign spec: graph 'n' must be [min, max]");
+        axis.n_min = static_cast<std::size_t>(range[0].as_int());
+        axis.n_max = static_cast<std::size_t>(range[1].as_int());
+      }
+      if (const JsonValue* params = g.find("params")) {
+        axis.params = number_array<std::size_t>(*params);
+      }
+      spec.graphs.push_back(std::move(axis));
+    }
+  }
+  if (const JsonValue* p = root.find("placements")) {
+    check_known_keys(*p, {"mode", "agents", "seeds", "fixed"}, "placements");
+    spec.placements.mode = mode_from_name(p->string_or("mode", "enumerate"));
+    if (const JsonValue* agents = p->find("agents")) {
+      const auto& range = agents->as_array();
+      QELECT_CHECK(range.size() == 2,
+                   "campaign spec: placement 'agents' must be [min, max]");
+      spec.placements.agents_min = static_cast<std::size_t>(range[0].as_int());
+      spec.placements.agents_max = static_cast<std::size_t>(range[1].as_int());
+    }
+    spec.placements.seeds =
+        static_cast<std::uint64_t>(p->int_or("seeds", 1));
+    if (const JsonValue* fixed = p->find("fixed")) {
+      spec.placements.fixed = number_array<graph::NodeId>(*fixed);
+    }
+  }
+  if (const JsonValue* seeds = root.find("color_seeds")) {
+    spec.color_seeds = number_array<std::uint64_t>(*seeds);
+  }
+  QELECT_CHECK(!spec.color_seeds.empty(),
+               "campaign spec: color_seeds must be non-empty");
+  spec.scheduler = root.string_or("scheduler", "random");
+  spec.max_steps = static_cast<std::size_t>(root.int_or("max_steps", 0));
+  spec.retries = static_cast<int>(root.int_or("retries", 1));
+  QELECT_CHECK(spec.retries >= 0, "campaign spec: retries must be >= 0");
+  spec.timeout_seconds = root.number_or("timeout_seconds", 0);
+  spec.labeling_budget = root.number_or("labeling_budget", 250000.0);
+  if (const JsonValue* inject = root.find("inject")) {
+    check_known_keys(*inject, {"match", "fail_attempts"}, "inject");
+    spec.inject.match = inject->string_or("match", "");
+    spec.inject.fail_attempts =
+        static_cast<int>(inject->int_or("fail_attempts", 0));
+  }
+  return spec;
+}
+
+}  // namespace qelect::campaign

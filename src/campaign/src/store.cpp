@@ -1,0 +1,164 @@
+#include "qelect/campaign/store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "qelect/campaign/json.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+
+namespace {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::uint64_t hash_from_hex(const std::string& hex) {
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+double TaskRecord::metric_or(const std::string& name, double fallback) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+std::string TaskRecord::to_json() const {
+  std::ostringstream out;
+  out << "{\"type\":\"task\",\"key\":" << json_quote(key)
+      << ",\"outcome\":" << json_quote(outcome) << ",\"attempts\":" << attempts
+      << ",\"duration_seconds\":" << json_number(duration_seconds)
+      << ",\"error\":" << json_quote(error) << ",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out << ',';
+    out << json_quote(metrics[i].first) << ':'
+        << json_number(metrics[i].second);
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string header_to_json(const StoreHeader& header) {
+  std::ostringstream out;
+  out << "{\"type\":\"campaign\",\"name\":" << json_quote(header.name)
+      << ",\"spec_hash\":" << json_quote(hash_hex(header.spec_hash))
+      << ",\"spec\":"
+      << (header.spec_json.empty() ? "null" : header.spec_json) << '}';
+  return out.str();
+}
+
+std::unordered_map<std::string, const TaskRecord*> LoadedStore::by_key()
+    const {
+  std::unordered_map<std::string, const TaskRecord*> out;
+  out.reserve(records.size());
+  for (const TaskRecord& r : records) out[r.key] = &r;
+  return out;
+}
+
+LoadedStore load_store(const std::string& path) {
+  LoadedStore store;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return store;
+  store.exists = true;
+
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: a write was interrupted mid-line.
+      store.torn_tail = true;
+      break;
+    }
+    const std::string line = content.substr(pos, nl - pos);
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const CheckError&) {
+      // A complete but unparseable line can only be the torn tail of a
+      // crashed run if nothing follows it; anything earlier is corruption.
+      QELECT_CHECK(content.find_first_not_of(" \t\r\n", nl) ==
+                       std::string::npos,
+                   "result store " + path + ": corrupt interior line");
+      store.torn_tail = true;
+      break;
+    }
+    const std::string type = v.string_or("type", "");
+    if (first && type == "campaign") {
+      store.has_header = true;
+      store.header.name = v.string_or("name", "");
+      store.header.spec_hash = hash_from_hex(v.string_or("spec_hash", "0"));
+      const JsonValue* spec = v.find("spec");
+      if (spec != nullptr && !spec->is_null()) {
+        // Keep the spec's exact serialized bytes (it is canonical JSON):
+        // everything after `"spec":` up to the closing brace of the line.
+        const std::size_t at = line.find("\"spec\":");
+        store.header.spec_json =
+            line.substr(at + 7, line.size() - (at + 7) - 1);
+      }
+    } else if (type == "task") {
+      TaskRecord r;
+      r.key = v.require("key").as_string();
+      r.outcome = v.string_or("outcome", "failed");
+      r.attempts = static_cast<int>(v.int_or("attempts", 1));
+      r.duration_seconds = v.number_or("duration_seconds", 0);
+      r.error = v.string_or("error", "");
+      if (const JsonValue* metrics = v.find("metrics")) {
+        for (const auto& [k, mv] : metrics->members()) {
+          r.metrics.emplace_back(k, mv.as_double());
+        }
+      }
+      store.records.push_back(std::move(r));
+    }
+    // Unknown record types are preserved bytes but ignored content.
+    first = false;
+    pos = nl + 1;
+    store.valid_bytes = pos;
+  }
+  return store;
+}
+
+StoreWriter::StoreWriter(const std::string& path, const StoreHeader& header)
+    : path_(path) {
+  const LoadedStore prior = load_store(path);
+  if (prior.exists && prior.has_header) {
+    QELECT_CHECK(prior.header.spec_hash == header.spec_hash,
+                 "result store " + path +
+                     " belongs to a different campaign spec (hash " +
+                     hash_hex(prior.header.spec_hash) + " != " +
+                     hash_hex(header.spec_hash) + ")");
+    if (prior.torn_tail) {
+      std::filesystem::resize_file(path, prior.valid_bytes);
+    }
+    out_.open(path, std::ios::binary | std::ios::app);
+    QELECT_CHECK(out_.is_open(), "cannot reopen result store " + path);
+    return;
+  }
+  QELECT_CHECK(!prior.exists || prior.records.empty(),
+               "result store " + path + " has records but no header");
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  QELECT_CHECK(out_.is_open(), "cannot create result store " + path);
+  out_ << header_to_json(header) << '\n';
+  out_.flush();
+}
+
+void StoreWriter::append(const TaskRecord& record) {
+  out_ << record.to_json() << '\n';
+  out_.flush();
+  QELECT_CHECK(out_.good(), "result store " + path_ + ": write failed");
+}
+
+}  // namespace qelect::campaign

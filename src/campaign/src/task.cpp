@@ -1,0 +1,275 @@
+#include "qelect/campaign/task.hpp"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "qelect/graph/families.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/iso/enumerate.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+
+namespace {
+
+/// Memoized iso::all_connected_graphs: the landscape expansion and every
+/// all-connected task share one enumeration per n and per process.
+const std::vector<graph::Graph>& connected_graphs(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::vector<graph::Graph>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, iso::all_connected_graphs(n)).first;
+  }
+  return it->second;
+}
+
+std::size_t param_at(const std::vector<std::size_t>& params, std::size_t i,
+                     const std::string& family) {
+  QELECT_CHECK(i < params.size(),
+               "graph family '" + family + "' needs parameter " +
+                   std::to_string(i + 1));
+  return params[i];
+}
+
+std::string placement_suffix(const std::vector<graph::NodeId>& home_bases) {
+  std::ostringstream out;
+  out << "/p=";
+  for (std::size_t i = 0; i < home_bases.size(); ++i) {
+    if (i > 0) out << '.';
+    out << home_bases[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+graph::Graph GraphRef::build() const {
+  const auto p = [&](std::size_t i) { return param_at(params, i, family); };
+  if (family == "ring") return graph::ring(p(0));
+  if (family == "path") return graph::path(p(0));
+  if (family == "complete") return graph::complete(p(0));
+  if (family == "star") return graph::star(p(0));
+  if (family == "hypercube") return graph::hypercube(static_cast<unsigned>(p(0)));
+  if (family == "torus") return graph::torus(params);
+  if (family == "circulant") {
+    QELECT_CHECK(params.size() >= 2, "circulant needs n plus offsets");
+    return graph::circulant(
+        params[0], std::vector<std::size_t>(params.begin() + 1, params.end()));
+  }
+  if (family == "complete-bipartite") return graph::complete_bipartite(p(0), p(1));
+  if (family == "ccc") return graph::cube_connected_cycles(static_cast<unsigned>(p(0)));
+  if (family == "wrapped-butterfly") return graph::wrapped_butterfly(static_cast<unsigned>(p(0)));
+  if (family == "petersen") return graph::petersen();
+  if (family == "generalized-petersen") return graph::generalized_petersen(p(0), p(1));
+  if (family == "random") {
+    // params: n, seed, edge probability in percent (default 30).
+    const double prob =
+        params.size() >= 3 ? static_cast<double>(params[2]) / 100.0 : 0.3;
+    return graph::random_connected(p(0), prob, p(1));
+  }
+  if (family == "all-connected") {
+    const std::size_t n = p(0);
+    const std::size_t idx = p(1);
+    const auto& graphs = connected_graphs(n);
+    QELECT_CHECK(idx < graphs.size(),
+                 "all-connected(" + std::to_string(n) + ") has only " +
+                     std::to_string(graphs.size()) + " classes");
+    return graphs[idx];
+  }
+  throw CheckError("unknown graph family '" + family + "'");
+}
+
+std::string GraphRef::label() const {
+  std::ostringstream out;
+  out << family << '(';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ',';
+    out << params[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+const std::vector<Table1Instance>& table1_instances() {
+  // The exact sweep suite of bench_table1: the named instances backing the
+  // qualitative and quantitative rows of the reproduced matrix.
+  static const std::vector<Table1Instance> instances = {
+      {"C5{0,1}", {"ring", {5}}, {0, 1}},
+      {"C6{0,2}", {"ring", {6}}, {0, 2}},
+      {"C6{0,3}", {"ring", {6}}, {0, 3}},
+      {"C4{0,1}", {"ring", {4}}, {0, 1}},
+      {"K2{0,1}", {"complete", {2}}, {0, 1}},
+      {"Q3{0,3,5}", {"hypercube", {3}}, {0, 3, 5}},
+      {"Q3{0,7}", {"hypercube", {3}}, {0, 7}},
+      {"T33{0,4}", {"torus", {3, 3}}, {0, 4}},
+      {"K5{0,1}", {"complete", {5}}, {0, 1}},
+  };
+  return instances;
+}
+
+namespace {
+
+/// Expands one graph axis into concrete GraphRefs.
+std::vector<GraphRef> expand_axis(const GraphAxis& axis) {
+  std::vector<GraphRef> out;
+  const bool ranged = axis.n_max >= axis.n_min && axis.n_max > 0;
+  if (axis.family == "all-connected") {
+    QELECT_CHECK(ranged, "all-connected axis needs an n range");
+    for (std::size_t n = axis.n_min; n <= axis.n_max; ++n) {
+      const std::size_t count = connected_graphs(n).size();
+      for (std::size_t idx = 0; idx < count; ++idx) {
+        out.push_back({axis.family, {n, idx}});
+      }
+    }
+    return out;
+  }
+  if (axis.family == "random") {
+    QELECT_CHECK(ranged, "random axis needs an n range");
+    // params: [seed_count, edge probability percent]
+    const std::size_t seed_count =
+        axis.params.empty() ? 1 : axis.params[0];
+    for (std::size_t n = axis.n_min; n <= axis.n_max; ++n) {
+      for (std::size_t s = 0; s < seed_count; ++s) {
+        GraphRef ref{axis.family, {n, s}};
+        if (axis.params.size() >= 2) ref.params.push_back(axis.params[1]);
+        out.push_back(std::move(ref));
+      }
+    }
+    return out;
+  }
+  if (!ranged) {
+    // Fixed family: params pass through (petersen, torus(3,3), ...).
+    out.push_back({axis.family, axis.params});
+    return out;
+  }
+  for (std::size_t n = axis.n_min; n <= axis.n_max; ++n) {
+    GraphRef ref{axis.family, {n}};
+    ref.params.insert(ref.params.end(), axis.params.begin(),
+                      axis.params.end());
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+/// Expands the placement axis for one already-built graph.
+std::vector<std::vector<graph::NodeId>> expand_placements(
+    const PlacementAxis& axis, const graph::Graph& g) {
+  std::vector<std::vector<graph::NodeId>> out;
+  const std::size_t n = g.node_count();
+  switch (axis.mode) {
+    case PlacementAxis::Mode::Fixed:
+      out.push_back(axis.fixed);
+      return out;
+    case PlacementAxis::Mode::Enumerate: {
+      const std::size_t hi =
+          axis.agents_max == 0 ? n : std::min(axis.agents_max, n);
+      for (std::size_t r = axis.agents_min; r <= hi; ++r) {
+        for (const auto& p : graph::enumerate_placements(n, r)) {
+          out.push_back(p.home_bases());
+        }
+      }
+      return out;
+    }
+    case PlacementAxis::Mode::Random: {
+      const std::size_t hi =
+          axis.agents_max == 0 ? n : std::min(axis.agents_max, n);
+      for (std::size_t r = axis.agents_min; r <= hi; ++r) {
+        // Distinct seeds can sample the same placement (always, once r is
+        // close to n); dedupe so keys stay unique.
+        std::set<std::vector<graph::NodeId>> seen;
+        for (std::uint64_t s = 0; s < axis.seeds; ++s) {
+          auto bases = graph::random_placement(n, r, s).home_bases();
+          if (seen.insert(bases).second) out.push_back(std::move(bases));
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+TaskSpec make_task(const CampaignSpec& spec, std::string workload,
+                   std::string key_prefix, GraphRef graph,
+                   std::vector<graph::NodeId> home_bases,
+                   std::uint64_t color_seed) {
+  TaskSpec task;
+  task.workload = std::move(workload);
+  task.graph = std::move(graph);
+  task.home_bases = std::move(home_bases);
+  task.color_seed = color_seed;
+  task.scheduler = spec.scheduler;
+  task.max_steps = spec.max_steps;
+  task.labeling_budget = spec.labeling_budget;
+  std::ostringstream key;
+  key << key_prefix << '/' << task.graph.label()
+      << placement_suffix(task.home_bases) << "/s=" << color_seed;
+  task.key = key.str();
+  return task;
+}
+
+std::vector<TaskSpec> expand_table1(const CampaignSpec& spec) {
+  std::vector<TaskSpec> tasks;
+  // Cell computations that are one task each.  Graph/placement fields name
+  // the witness instance so the key stays self-describing.
+  tasks.push_back(make_task(spec, "anon-lockstep", "table1/anonymous",
+                            {"ring", {6}}, {0, 3}, 1));
+  tasks.push_back(make_task(spec, "k2-exhaustive", "table1/k2",
+                            {"complete", {2}}, {0, 1}, 1));
+  tasks.push_back(make_task(spec, "petersen-witness", "table1/petersen",
+                            {"petersen", {}}, {0, 5}, 3));
+  // Per-instance cells: the Cayley dichotomy, live ELECT (color seed 7 as
+  // in bench_table1), and the quantitative baseline (color seed 11).
+  for (const Table1Instance& inst : table1_instances()) {
+    tasks.push_back(make_task(spec, "cayley-dichotomy",
+                              "table1/cayley/" + inst.name, inst.graph,
+                              inst.home_bases, 7));
+    tasks.push_back(make_task(spec, "elect", "table1/elect/" + inst.name,
+                              inst.graph, inst.home_bases, 7));
+    tasks.push_back(make_task(spec, "quantitative",
+                              "table1/quant/" + inst.name, inst.graph,
+                              inst.home_bases, 11));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+std::vector<TaskSpec> expand_tasks(const CampaignSpec& spec) {
+  QELECT_CHECK(!spec.name.empty(), "campaign spec: name must be non-empty");
+  std::vector<TaskSpec> tasks;
+  if (spec.workload == "table1") {
+    tasks = expand_table1(spec);
+  } else {
+    QELECT_CHECK(spec.workload == "analyze" || spec.workload == "elect" ||
+                     spec.workload == "quantitative" ||
+                     spec.workload == "moves",
+                 "campaign spec: unknown workload '" + spec.workload + "'");
+    QELECT_CHECK(!spec.graphs.empty(),
+                 "campaign spec: workload '" + spec.workload +
+                     "' needs at least one graph axis");
+    for (const GraphAxis& axis : spec.graphs) {
+      for (GraphRef& ref : expand_axis(axis)) {
+        const graph::Graph g = ref.build();
+        for (auto& bases : expand_placements(spec.placements, g)) {
+          if (bases.size() > g.node_count()) continue;
+          for (const std::uint64_t seed : spec.color_seeds) {
+            tasks.push_back(make_task(spec, spec.workload, spec.workload,
+                                      ref, bases, seed));
+          }
+        }
+      }
+    }
+  }
+  std::set<std::string> keys;
+  for (const TaskSpec& t : tasks) {
+    QELECT_CHECK(keys.insert(t.key).second,
+                 "campaign expansion produced duplicate key " + t.key);
+  }
+  return tasks;
+}
+
+}  // namespace qelect::campaign

@@ -107,12 +107,22 @@ FeasibilityReport analyze(const graph::Graph& g, const graph::Placement& p,
 std::vector<FeasibilityReport> analyze_batch(
     const std::vector<InstanceSpec>& instances, bool check_cayley,
     unsigned threads) {
-  return parallel_map<FeasibilityReport>(
+  // Dynamic scheduling: per-instance cost is dominated by the Cayley
+  // machinery and varies by orders of magnitude across a sweep, so static
+  // block decomposition leaves whole shards idle behind one hot block.
+  std::vector<std::optional<FeasibilityReport>> slots(instances.size());
+  parallel_for_dynamic(
       instances.size(),
       [&](std::size_t i) {
-        return analyze(instances[i].g, instances[i].p, check_cayley);
+        slots[i].emplace(analyze(instances[i].g, instances[i].p, check_cayley));
       },
       threads);
+  std::vector<FeasibilityReport> out;
+  out.reserve(slots.size());
+  for (std::optional<FeasibilityReport>& s : slots) {
+    out.push_back(std::move(*s));
+  }
+  return out;
 }
 
 bool impossibility_by_exhaustive_labelings(const graph::Graph& g,

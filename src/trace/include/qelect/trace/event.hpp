@@ -13,6 +13,12 @@
 // world's atomic hop, while Send/Deliver are the two halves of the
 // message-passing reading (Figure 1), where transit has its own
 // adversarially-chosen duration.
+//
+// The campaign engine (src/campaign) reuses the sink API for live sweep
+// progress: one TaskOk/TaskFail event per committed task, with `step` the
+// commit index, `agent` the executing shard, and `node` the task's index
+// in campaign order.  Sinks that only understand simulator runs ignore
+// these kinds.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,8 @@ struct TraceEvent {
     Yield,       // explicit interleaving point, no effect
     Send,        // message world: agent left through `port`, now in transit
     Deliver,     // message world: agent arrived at `node` via its `port`
+    TaskOk,      // campaign engine: task committed with outcome ok
+    TaskFail,    // campaign engine: task committed failed (or timed out)
   };
 
   std::uint64_t step = 0;            // global step index (total order)

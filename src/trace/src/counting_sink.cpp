@@ -49,6 +49,11 @@ void CountingSink::on_event(const TraceEvent& event) {
       break;
     case TraceEvent::Kind::Start:
       break;
+    case TraceEvent::Kind::TaskOk:
+    case TraceEvent::Kind::TaskFail:
+      // Campaign progress events carry no agent motion; only the per-shard
+      // step count below applies.
+      break;
   }
   ++a.steps;
   last_step_[event.agent] = event.step;

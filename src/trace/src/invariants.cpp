@@ -155,6 +155,11 @@ InvariantReport check_trace(const std::vector<TraceEvent>& events,
         st.where = Where::AtNode;
         st.pos = e.node;
         break;
+      case TraceEvent::Kind::TaskOk:
+      case TraceEvent::Kind::TaskFail:
+        // Campaign progress events are not simulator actions; they carry no
+        // position and are ignored by the execution-model checkers.
+        break;
     }
   }
 

@@ -20,6 +20,10 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "send";
     case TraceEvent::Kind::Deliver:
       return "deliver";
+    case TraceEvent::Kind::TaskOk:
+      return "task-ok";
+    case TraceEvent::Kind::TaskFail:
+      return "task-fail";
   }
   return "?";
 }

@@ -15,11 +15,14 @@
 // pushes fine-grained work through here.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "qelect/util/cancel.hpp"
 
 namespace qelect {
 
@@ -50,6 +53,43 @@ void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
     if (begin >= end) break;
     pool.emplace_back([&fn, begin, end] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+/// Like parallel_for, but with *dynamic* scheduling: workers claim the next
+/// unprocessed index through a shared atomic counter, so wildly uneven
+/// per-item costs (a campaign shard hitting one n=6 exhaustive-labeling
+/// task among thousands of cheap ones) no longer serialize behind the
+/// static block decomposition.  An optional CancelToken drains the pool
+/// early: once it trips, no *new* index is claimed (items already running
+/// finish; fn is never called for the skipped indices).  Same contract as
+/// parallel_for otherwise: fn(i) must be concurrency-safe for distinct i
+/// and must not throw.
+template <typename Fn>
+void parallel_for_dynamic(std::size_t count, Fn&& fn, unsigned threads = 0,
+                          CancelToken cancel = {}) {
+  if (count == 0) return;
+  const unsigned use = resolve_parallel_threads(threads, count);
+  if (use <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel.cancelled()) return;
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(use);
+  for (unsigned t = 0; t < use; ++t) {
+    pool.emplace_back([&fn, &next, &cancel, count] {
+      for (;;) {
+        if (cancel.cancelled()) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
     });
   }
   for (std::thread& th : pool) th.join();

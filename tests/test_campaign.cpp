@@ -1,0 +1,335 @@
+// Campaign subsystem tests: deterministic expansion, spec round-trips, the
+// result store as a crash-tolerant checkpoint, kill/resume byte-equality,
+// fault isolation (injected failures, timeouts), and the Table 1 matrix
+// agreeing with the directly computed verdicts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "qelect/campaign/builtin.hpp"
+#include "qelect/campaign/engine.hpp"
+#include "qelect/campaign/report.hpp"
+#include "qelect/campaign/spec.hpp"
+#include "qelect/campaign/store.hpp"
+#include "qelect/campaign/task.hpp"
+#include "qelect/campaign/workloads.hpp"
+#include "qelect/core/analysis.hpp"
+#include "qelect/core/baselines.hpp"
+#include "qelect/graph/families.hpp"
+#include "qelect/graph/placement.hpp"
+#include "qelect/trace/sink.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path dir;
+  explicit ScratchDir(const std::string& name)
+      : dir(fs::temp_directory_path() /
+            ("qelect_campaign_test_" + name +
+             std::to_string(::getpid()))) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~ScratchDir() { fs::remove_all(dir); }
+  std::string path(const std::string& file) const {
+    return (dir / file).string();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Small, fast live-protocol campaign: ELECT on rings n in [3, 6] with
+/// every 1- and 2-agent placement (52 tasks).
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "test-rings";
+  spec.workload = "elect";
+  spec.graphs.push_back({"ring", 3, 6, {}});
+  spec.placements.mode = PlacementAxis::Mode::Enumerate;
+  spec.placements.agents_min = 1;
+  spec.placements.agents_max = 2;
+  return spec;
+}
+
+TEST(CampaignSpec, JsonRoundTripIsExact) {
+  CampaignSpec spec = small_spec();
+  spec.color_seeds = {1, 9};
+  spec.retries = 3;
+  spec.timeout_seconds = 2.5;
+  spec.inject = {"ring(4)", 1};
+  const std::string json = spec.to_json();
+  const CampaignSpec back = CampaignSpec::from_json_text(json);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.to_json(), json);          // canonical form is a fixpoint
+  EXPECT_EQ(back.spec_hash(), spec.spec_hash());
+}
+
+TEST(CampaignSpec, RejectsUnknownKeys) {
+  EXPECT_THROW(CampaignSpec::from_json_text(
+                   R"({"name":"x","workload":"elect","grpahs":[]})"),
+               CheckError);
+}
+
+TEST(CampaignSpec, BuiltinsExpandAndHaveUniqueKeys) {
+  for (const std::string& name : builtin_names()) {
+    if (name == "landscape") continue;  // n=6 enumeration; covered by bench
+    const CampaignSpec spec = builtin_spec(name);
+    const auto tasks = expand_tasks(spec);
+    EXPECT_FALSE(tasks.empty()) << name;
+    std::set<std::string> keys;
+    for (const auto& t : tasks) EXPECT_TRUE(keys.insert(t.key).second);
+    // Determinism: a second expansion produces the identical key sequence.
+    const auto again = expand_tasks(spec);
+    ASSERT_EQ(again.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(again[i].key, tasks[i].key);
+    }
+  }
+}
+
+TEST(CampaignStore, ToleratesTornTailAndResumesOverIt) {
+  ScratchDir scratch("torn");
+  const std::string path = scratch.path("store.jsonl");
+  const CampaignSpec spec = small_spec();
+  EngineOptions opts;
+  opts.deterministic = true;
+  opts.shards = 2;
+  run_campaign(spec, path, opts);
+  const std::string clean = slurp(path);
+
+  // Tear the final line mid-record, as a crash mid-append would.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << clean.substr(0, clean.size() - 17);
+  }
+  const LoadedStore torn = load_store(path);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.records.size(), expand_tasks(spec).size() - 1);
+
+  // Resuming truncates the torn tail and re-runs exactly the lost task.
+  const CampaignResult resumed = run_campaign(spec, path, opts);
+  EXPECT_EQ(resumed.executed, 1u);
+  EXPECT_EQ(resumed.skipped, resumed.total - 1);
+  EXPECT_EQ(slurp(path), clean);
+}
+
+TEST(CampaignStore, RejectsMismatchedSpec) {
+  ScratchDir scratch("mismatch");
+  const std::string path = scratch.path("store.jsonl");
+  run_campaign(small_spec(), path, {});
+  CampaignSpec other = small_spec();
+  other.color_seeds = {2};
+  EXPECT_THROW(run_campaign(other, path, {}), CheckError);
+}
+
+TEST(CampaignEngine, KilledThenResumedStoreIsByteIdentical) {
+  ScratchDir scratch("resume");
+  const std::string uninterrupted = scratch.path("full.jsonl");
+  const std::string killed = scratch.path("killed.jsonl");
+  const CampaignSpec spec = small_spec();
+  EngineOptions opts;
+  opts.deterministic = true;
+  opts.shards = 4;
+
+  const CampaignResult full = run_campaign(spec, uninterrupted, opts);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.failed + full.timeout, 0u);
+
+  // Simulated kill after 13 commits: the store must be a clean prefix.
+  EngineOptions kill = opts;
+  kill.stop_after = 13;
+  const CampaignResult partial = run_campaign(spec, killed, kill);
+  EXPECT_TRUE(partial.stopped_early);
+  EXPECT_EQ(partial.executed, 13u);
+  const std::string full_bytes = slurp(uninterrupted);
+  const std::string prefix = slurp(killed);
+  EXPECT_LT(prefix.size(), full_bytes.size());
+  EXPECT_EQ(full_bytes.compare(0, prefix.size(), prefix), 0);
+
+  // Resume: skips all 13 committed tasks, re-executes zero of them, and
+  // the merged store equals the uninterrupted run byte for byte.
+  const CampaignResult resumed = run_campaign(spec, killed, opts);
+  EXPECT_EQ(resumed.skipped, 13u);
+  EXPECT_EQ(resumed.executed, resumed.total - 13);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(slurp(killed), full_bytes);
+
+  // Resuming a complete store is a no-op that changes nothing.
+  const CampaignResult noop = run_campaign(spec, killed, opts);
+  EXPECT_EQ(noop.executed, 0u);
+  EXPECT_EQ(noop.skipped, noop.total);
+  EXPECT_EQ(slurp(killed), full_bytes);
+}
+
+TEST(CampaignEngine, TruncationAtTaskBoundaryResumesByteIdentical) {
+  ScratchDir scratch("truncate");
+  const std::string path = scratch.path("store.jsonl");
+  const CampaignSpec spec = small_spec();
+  EngineOptions opts;
+  opts.deterministic = true;
+  opts.shards = 3;
+  run_campaign(spec, path, opts);
+  const std::string full_bytes = slurp(path);
+
+  // Chop the store to header + 7 records (a kill between appends).
+  std::size_t pos = 0;
+  for (int lines = 0; lines < 8; ++lines) {
+    pos = full_bytes.find('\n', pos) + 1;
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full_bytes.substr(0, pos);
+  }
+  const CampaignResult resumed = run_campaign(spec, path, opts);
+  EXPECT_EQ(resumed.skipped, 7u);
+  EXPECT_EQ(resumed.executed, resumed.total - 7);
+  EXPECT_EQ(slurp(path), full_bytes);
+}
+
+TEST(CampaignEngine, InjectedFailureIsRetriedThenSucceeds) {
+  ScratchDir scratch("retry");
+  CampaignSpec spec = small_spec();
+  spec.inject = {"ring(5)/p=0.2/s=1", 1};  // first attempt throws
+  spec.retries = 2;
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("store.jsonl"), {});
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.retried, 1u);
+  const auto store = load_store(scratch.path("store.jsonl"));
+  const auto by_key = store.by_key();
+  const auto* record = by_key.at("elect/ring(5)/p=0.2/s=1");
+  EXPECT_EQ(record->outcome, "ok");
+  EXPECT_EQ(record->attempts, 2);
+}
+
+TEST(CampaignEngine, ExhaustedRetriesRecordFailedWithoutPoisoningSiblings) {
+  ScratchDir scratch("fail");
+  CampaignSpec spec = small_spec();
+  spec.inject = {"ring(4)", 100};  // every attempt throws, all ring(4) tasks
+  spec.retries = 1;
+  EngineOptions opts;
+  opts.shards = 4;
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("store.jsonl"), opts);
+  EXPECT_TRUE(result.complete());
+  EXPECT_GT(result.failed, 0u);
+  const auto store = load_store(scratch.path("store.jsonl"));
+  for (const TaskRecord& r : store.records) {
+    if (r.key.find("ring(4)") != std::string::npos) {
+      EXPECT_EQ(r.outcome, "failed");
+      EXPECT_EQ(r.attempts, 2);  // 1 + retries
+      EXPECT_NE(r.error.find("injected failure"), std::string::npos);
+    } else {
+      EXPECT_EQ(r.outcome, "ok") << r.key;
+    }
+  }
+  // Failed records are terminal: resume re-executes nothing.
+  const CampaignResult resumed =
+      run_campaign(spec, scratch.path("store.jsonl"), opts);
+  EXPECT_EQ(resumed.executed, 0u);
+}
+
+TEST(CampaignEngine, ExpiredDeadlineRecordsTimeout) {
+  ScratchDir scratch("timeout");
+  CampaignSpec spec = small_spec();
+  spec.retries = 1;
+  spec.timeout_seconds = 1e-9;  // expired before the first poll
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("store.jsonl"), {});
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.timeout, result.total);
+  const auto store = load_store(scratch.path("store.jsonl"));
+  for (const TaskRecord& r : store.records) {
+    EXPECT_EQ(r.outcome, "timeout");
+    EXPECT_EQ(r.attempts, 2);
+  }
+}
+
+TEST(CampaignEngine, ProgressStreamsThroughTraceSinks) {
+  ScratchDir scratch("progress");
+  const CampaignSpec spec = small_spec();
+  trace::VectorSink sink;
+  EngineOptions opts;
+  opts.progress = &sink;
+  opts.shards = 2;
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("store.jsonl"), opts);
+  EXPECT_EQ(sink.metadata().label, spec.name);
+  EXPECT_EQ(sink.metadata().policy, "campaign");
+  EXPECT_EQ(sink.metadata().node_count, result.total);
+  ASSERT_EQ(sink.events().size(), result.executed);
+  for (std::size_t i = 0; i < sink.events().size(); ++i) {
+    EXPECT_EQ(sink.events()[i].step, i);  // commits arrive in order
+    EXPECT_EQ(sink.events()[i].kind, trace::TraceEvent::Kind::TaskOk);
+  }
+  EXPECT_EQ(sink.summary().steps, result.executed);
+  EXPECT_TRUE(sink.summary().completed);
+}
+
+TEST(CampaignTable1, MatrixMatchesDirectComputation) {
+  ScratchDir scratch("table1");
+  const std::string path = scratch.path("store.jsonl");
+  const CampaignResult result =
+      run_campaign(builtin_spec("table1"), path, {});
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.failed + result.timeout, 0u);
+  const Table1Matrix m = table1_matrix(load_store(path));
+
+  // The matrix cells the paper's Table 1 asserts, re-derived directly.
+  EXPECT_TRUE(m.anon_holds);
+  EXPECT_TRUE(m.k2_impossible);
+  EXPECT_TRUE(m.qualitative_cayley_yes());
+  EXPECT_TRUE(m.quantitative_yes());
+  EXPECT_EQ(m.live_total, table1_instances().size());
+  EXPECT_EQ(m.quant_total, table1_instances().size());
+  EXPECT_TRUE(m.petersen_elect_fails);
+  EXPECT_TRUE(m.petersen_adhoc_elects);
+  EXPECT_EQ(m.petersen_gcd, 2u);
+  EXPECT_EQ(m.missing, 0u);
+
+  // Spot-check one cell against a direct oracle computation.
+  const auto plan = core::protocol_plan(graph::complete(5),
+                                        graph::Placement(5, {0, 1}));
+  EXPECT_EQ(plan.final_gcd, 1u)
+      << "K5{0,1} should be electable; matrix counted it live_ok";
+}
+
+TEST(CampaignWorkloads, AnalyzeClassifiesKnownInstances) {
+  // C6 antipodal: the canonical Cayley-obstructed impossibility.
+  TaskSpec task;
+  task.key = "analyze/ring(6)/p=0.3/s=1";
+  task.workload = "analyze";
+  task.graph = {"ring", {6}};
+  task.home_bases = {0, 3};
+  TaskRecord record;
+  record.metrics = run_task(task, {});
+  EXPECT_GT(record.metric_or("final_gcd", 0), 1);
+  EXPECT_EQ(record.metric_or("class", -1), kClassImpossCayley);
+
+  // P3 end-to-end: asymmetric surroundings, gcd 1, electable.
+  task.key = "analyze/path(3)/p=0.2/s=1";
+  task.graph = {"path", {3}};
+  task.home_bases = {0, 2};
+  record.metrics = run_task(task, {});
+  EXPECT_EQ(record.metric_or("class", -1), kClassElect);
+}
+
+}  // namespace
+}  // namespace qelect::campaign

@@ -2,10 +2,11 @@
 // the Euclid dynamics of the reduction subroutines, and table rendering.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
-
-#include <atomic>
+#include <thread>
 
 #include "qelect/util/assert.hpp"
 #include "qelect/util/math.hpp"
@@ -199,6 +200,55 @@ TEST(Parallel, MapPreservesOrder) {
   const auto out = parallel_map<std::size_t>(
       100, [](std::size_t i) { return i * i; }, 3);
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, DynamicCoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    parallel_for_dynamic(hits.size(), [&](std::size_t i) { ++hits[i]; },
+                         threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, DynamicStopsClaimingAfterCancel) {
+  CancelSource source;
+  std::atomic<int> calls{0};
+  parallel_for_dynamic(
+      1000,
+      [&](std::size_t) {
+        if (calls.fetch_add(1) == 10) source.cancel();
+      },
+      4, source.token());
+  // Once cancelled, no new index is claimed: far fewer than 1000 calls.
+  EXPECT_GE(calls.load(), 11);
+  EXPECT_LT(calls.load(), 1000);
+}
+
+TEST(Cancel, DefaultTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST(Cancel, ExplicitCancelTripsEveryToken) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.throw_if_cancelled(), Cancelled);
+}
+
+TEST(Cancel, DeadlineExpires) {
+  const CancelSource none = CancelSource::with_timeout(0);
+  EXPECT_FALSE(none.token().cancelled());
+  const CancelSource expired = CancelSource::with_timeout(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(expired.token().cancelled());
+  const CancelSource generous = CancelSource::with_timeout(3600);
+  EXPECT_FALSE(generous.token().cancelled());
 }
 
 }  // namespace

@@ -11,6 +11,12 @@ measurement bug, so the script warns -- and marks the summary -- when the
 per-file config hashes disagree, and when any file was produced in smoke
 mode (QELECT_BENCH_SMOKE=1), whose timings are single uncalibrated runs.
 
+Campaign result stores (*.results.jsonl and campaign_*/results.jsonl, the
+append-only JSONL files written by `qelect run` and the campaign-routed
+benches; schema in docs/CAMPAIGNS.md) are folded into a `campaigns`
+section: per-store task/outcome/retry counts, with warnings for failed or
+timed-out tasks and torn tails.
+
 Exit status is 0 even on warnings: CI archives smoke-mode artifacts for
 schema checks, and gating on wall times of shared runners would flake.
 """
@@ -31,6 +37,72 @@ def load(path):
     return data
 
 
+def load_campaign(path):
+    """Parse one campaign result store into a summary dict.
+
+    Tolerates a torn final line (a kill mid-append leaves one); any other
+    malformed line is an error, mirroring campaign::load_store.
+    """
+    summary = {
+        "store": path,
+        "campaign": None,
+        "spec_hash": None,
+        "tasks": 0,
+        "ok": 0,
+        "failed": 0,
+        "timeout": 0,
+        "retries": 0,
+        "torn_tail": False,
+    }
+    with open(path, "rb") as f:
+        raw = f.read()
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    elif lines:
+        summary["torn_tail"] = True
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                summary["torn_tail"] = True
+                continue
+            raise ValueError(f"{path}: malformed line {i + 1}")
+        if rec.get("type") == "campaign":
+            summary["campaign"] = rec.get("name")
+            summary["spec_hash"] = rec.get("spec_hash")
+        elif rec.get("type") == "task":
+            summary["tasks"] += 1
+            outcome = rec.get("outcome", "failed")
+            key = outcome if outcome in ("ok", "failed", "timeout") else "failed"
+            summary[key] += 1
+            summary["retries"] += max(0, rec.get("attempts", 1) - 1)
+    return summary
+
+
+def collect_campaigns(root):
+    paths = sorted(
+        glob.glob(os.path.join(root, "*.results.jsonl"))
+        + glob.glob(os.path.join(root, "campaign_*", "results.jsonl")))
+    summaries, warnings = [], []
+    for path in paths:
+        try:
+            summaries.append(load_campaign(path))
+        except (ValueError, OSError) as e:
+            warnings.append(f"skipping campaign store {path}: {e}")
+            continue
+        s = summaries[-1]
+        if s["failed"] or s["timeout"]:
+            warnings.append(
+                f"{path}: {s['failed']} failed, {s['timeout']} timed-out "
+                f"task(s)")
+        if s["torn_tail"]:
+            warnings.append(f"{path}: torn tail (killed mid-append)")
+    return summaries, warnings
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".", help="directory with BENCH_*.json")
@@ -38,13 +110,16 @@ def main():
     args = ap.parse_args()
 
     paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
-    paths = [p for p in paths if os.path.basename(p) != "BENCH_summary.json"]
-    if not paths:
+    paths = [p for p in paths
+             if os.path.basename(p) != "BENCH_summary.json"
+             and not p.endswith(".results.jsonl")]
+    campaigns, campaign_warnings = collect_campaigns(args.dir)
+    if not paths and not campaigns:
         print(f"bench_summary: no BENCH_*.json under {args.dir}",
               file=sys.stderr)
         return 1
 
-    benches, warnings = [], []
+    benches, warnings = [], list(campaign_warnings)
     for path in paths:
         try:
             benches.append(load(path))
@@ -74,14 +149,26 @@ def main():
         "cases": total_cases,
         "warnings": warnings,
         "speedups_vs_seed": speedups,
+        "campaigns": campaigns,
+        "campaign_tasks": {
+            "tasks": sum(c["tasks"] for c in campaigns),
+            "ok": sum(c["ok"] for c in campaigns),
+            "failed": sum(c["failed"] for c in campaigns),
+            "timeout": sum(c["timeout"] for c in campaigns),
+            "retries": sum(c["retries"] for c in campaigns),
+        },
         "files": benches,
     }
     with open(args.out, "w") as f:
         json.dump(summary, f, indent=2)
         f.write("\n")
 
-    print(f"bench_summary: {len(benches)} files, {total_cases} cases "
-          f"-> {args.out}")
+    print(f"bench_summary: {len(benches)} files, {total_cases} cases, "
+          f"{len(campaigns)} campaign store(s) -> {args.out}")
+    for c in campaigns:
+        print(f"  campaign {c['campaign'] or '?'}: {c['tasks']} tasks "
+              f"({c['ok']} ok, {c['failed']} failed, {c['timeout']} timeout, "
+              f"{c['retries']} retries)")
     for w in warnings:
         print(f"  WARNING: {w}")
     if speedups:

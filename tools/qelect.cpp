@@ -1,0 +1,205 @@
+// qelect: the unified campaign CLI.
+//
+//   qelect run <spec.json | builtin> [engine flags]   start / continue
+//   qelect resume <store.jsonl>      [engine flags]   continue from a store
+//   qelect status <store.jsonl>                       progress + failures
+//   qelect report <store.jsonl>                       paper-table report
+//   qelect tasks  <spec.json | builtin>               print the expansion
+//   qelect list                                       built-in catalog
+//
+// `run` is idempotent: it loads the store first and only executes tasks
+// without a terminal record, so run and resume differ only in where the
+// spec comes from (resume reads it back out of the store header).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qelect/campaign/builtin.hpp"
+#include "qelect/campaign/engine.hpp"
+#include "qelect/campaign/report.hpp"
+#include "qelect/campaign/spec.hpp"
+#include "qelect/campaign/task.hpp"
+#include "qelect/trace/jsonl_sink.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace {
+
+using namespace qelect;
+using campaign::CampaignSpec;
+using campaign::EngineOptions;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qelect <command> [args]\n"
+      "\n"
+      "  run <spec.json|builtin> [flags]   run (or continue) a campaign\n"
+      "  resume <store.jsonl> [flags]      continue from a result store\n"
+      "  status <store.jsonl>              progress and failure summary\n"
+      "  report <store.jsonl>              workload-specific report\n"
+      "  tasks <spec.json|builtin>         print the task expansion\n"
+      "  list                              built-in campaign catalog\n"
+      "\n"
+      "engine flags (run/resume):\n"
+      "  --store PATH            result store (default campaign_<name>/results.jsonl)\n"
+      "  --shards N              worker shards (default: hardware concurrency)\n"
+      "  --retries N             attempts beyond the first per task\n"
+      "  --timeout-seconds S     cooperative per-attempt deadline\n"
+      "  --deterministic         zero durations (byte-reproducible stores)\n"
+      "  --stop-after N          commit N tasks then stop (simulated kill)\n"
+      "  --progress-jsonl PATH   stream progress events to a JSONL trace\n"
+      "  --echo N                status line every N commits (default 20)\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QELECT_CHECK(in.good(), "cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// A builtin name resolves from the catalog; anything else is a JSON file.
+CampaignSpec resolve_spec(const std::string& arg) {
+  if (campaign::is_builtin(arg)) return campaign::builtin_spec(arg);
+  return CampaignSpec::from_json_text(read_file(arg));
+}
+
+struct EngineFlags {
+  std::string store;
+  std::string progress_jsonl;
+  EngineOptions options;
+};
+
+/// Parses engine flags from argv[from..); throws CheckError on unknown or
+/// malformed flags.
+EngineFlags parse_engine_flags(int argc, char** argv, int from) {
+  EngineFlags flags;
+  flags.options.echo_every = 20;
+  auto value = [&](int& i) -> std::string {
+    QELECT_CHECK(i + 1 < argc,
+                 std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = from; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--store") {
+      flags.store = value(i);
+    } else if (flag == "--shards") {
+      flags.options.shards = static_cast<unsigned>(std::stoul(value(i)));
+    } else if (flag == "--retries") {
+      flags.options.retries = std::stoi(value(i));
+    } else if (flag == "--timeout-seconds") {
+      flags.options.timeout_seconds = std::stod(value(i));
+    } else if (flag == "--deterministic") {
+      flags.options.deterministic = true;
+    } else if (flag == "--stop-after") {
+      flags.options.stop_after = std::stoul(value(i));
+    } else if (flag == "--progress-jsonl") {
+      flags.progress_jsonl = value(i);
+    } else if (flag == "--echo") {
+      flags.options.echo_every = std::stoul(value(i));
+    } else {
+      throw CheckError("unknown flag '" + flag + "'");
+    }
+  }
+  return flags;
+}
+
+int run_with(const CampaignSpec& spec, EngineFlags flags) {
+  if (flags.store.empty()) {
+    flags.store = "campaign_" + spec.name + "/results.jsonl";
+  }
+  std::unique_ptr<trace::JsonlSink> progress;
+  if (!flags.progress_jsonl.empty()) {
+    progress = std::make_unique<trace::JsonlSink>(flags.progress_jsonl);
+    flags.options.progress = progress.get();
+  }
+  std::printf("campaign %s -> %s\n", spec.name.c_str(),
+              flags.store.c_str());
+  const auto result = campaign::run_campaign(spec, flags.store,
+                                             flags.options);
+  std::printf(
+      "%s: %zu tasks, %zu skipped (already done), %zu executed "
+      "(%zu ok, %zu failed, %zu timeout, %zu retries) in %.2fs%s\n",
+      result.complete() ? "done" : "stopped", result.total, result.skipped,
+      result.executed, result.ok, result.failed, result.timeout,
+      result.retried, result.wall_seconds,
+      result.stopped_early ? " [stopped early by --stop-after]" : "");
+  if (result.complete()) {
+    std::printf("\n");
+    campaign::print_report(flags.store);
+  }
+  return result.failed + result.timeout > 0 ? 1 : 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const CampaignSpec spec = resolve_spec(argv[2]);
+  return run_with(spec, parse_engine_flags(argc, argv, 3));
+}
+
+int cmd_resume(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string store_path = argv[2];
+  const auto store = campaign::load_store(store_path);
+  QELECT_CHECK(store.exists && store.has_header,
+               "no resumable store at " + store_path);
+  const CampaignSpec spec =
+      CampaignSpec::from_json_text(store.header.spec_json);
+  EngineFlags flags = parse_engine_flags(argc, argv, 3);
+  flags.store = store_path;
+  return run_with(spec, std::move(flags));
+}
+
+int cmd_tasks(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const CampaignSpec spec = resolve_spec(argv[2]);
+  const auto tasks = campaign::expand_tasks(spec);
+  for (const auto& task : tasks) std::printf("%s\n", task.key.c_str());
+  std::fprintf(stderr, "%zu tasks\n", tasks.size());
+  return 0;
+}
+
+int cmd_list() {
+  for (const std::string& name : campaign::builtin_names()) {
+    const CampaignSpec spec = campaign::builtin_spec(name);
+    std::printf("%-14s %zu tasks  %s\n", name.c_str(),
+                campaign::expand_tasks(spec).size(),
+                spec.workload.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return cmd_run(argc, argv);
+    if (command == "resume") return cmd_resume(argc, argv);
+    if (command == "status") {
+      if (argc < 3) return usage();
+      campaign::print_status(argv[2]);
+      return 0;
+    }
+    if (command == "report") {
+      if (argc < 3) return usage();
+      campaign::print_report(argv[2]);
+      return 0;
+    }
+    if (command == "tasks") return cmd_tasks(argc, argv);
+    if (command == "list") return cmd_list();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qelect %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
