@@ -1,6 +1,11 @@
-// PERF: simulator throughput -- scheduler steps per second, map drawing,
-// and end-to-end ELECT, so protocol-level numbers can be put in context.
-// Results land in BENCH_sim_throughput.json (schema in bench_json.hpp).
+// PERF: simulator throughput -- the repo's defining hot path.  Theorem 3.1
+// prices protocols in moves, so moves/second is the figure of merit: raw
+// scheduler stepping, map drawing, and end-to-end ELECT on the ring and
+// hypercube workloads.  Results land in BENCH_sim.json (schema in
+// bench_json.hpp); every ELECT case also carries the committed pre-PR-5
+// Release baseline (bench/sim_baseline.inc) and its speedup, so the file
+// is a self-contained before/after curve and tools/bench_summary.py can
+// warn on moves/sec regressions without external state.
 #include <cstdio>
 #include <string>
 
@@ -14,6 +19,35 @@ namespace {
 
 using namespace qelect;
 
+// Pre-PR-5 Release moves/sec per case, measured on the reference machine
+// (see docs/PERFORMANCE.md, "Simulator throughput").  0 = no baseline.
+struct SimBaseline {
+  const char* name;
+  double moves_per_second;
+};
+#include "sim_baseline.inc"
+
+double baseline_for(const std::string& name) {
+  for (const SimBaseline& b : kSimBaseline) {
+    if (name == b.name) return b.moves_per_second;
+  }
+  return 0.0;
+}
+
+// Attaches the moves/sec counter plus, when a committed baseline exists,
+// the baseline and the measured speedup over it.
+void moves_counters(benchjson::Reporter& rep, const std::string& name,
+                    std::size_t moves_per_run, double seconds_per_run) {
+  const double mps =
+      static_cast<double>(moves_per_run) / std::max(seconds_per_run, 1e-12);
+  rep.counter(name, "moves", static_cast<double>(moves_per_run));
+  rep.counter(name, "moves_per_second", mps);
+  const double base = baseline_for(name);
+  if (base > 0.0) {
+    rep.counter(name, "baseline_moves_per_second", base);
+    rep.counter(name, "speedup_vs_baseline", mps / base);
+  }
+}
 
 // Raw stepping: agents that just walk.  The counter reports steps per
 // second at the measured median.
@@ -39,7 +73,7 @@ void map_drawing_case(benchjson::Reporter& rep, const std::string& name,
   sim::World w(graph::hypercube(d),
                graph::Placement(graph::hypercube(d).node_count(), {0}), 1);
   std::size_t moves = 0;
-  rep.bench(name, [&] {
+  const double t = rep.bench(name, [&] {
     const auto r = w.run(
         [bfs](sim::AgentCtx& ctx) -> sim::Behavior {
           if (bfs) {
@@ -52,22 +86,26 @@ void map_drawing_case(benchjson::Reporter& rep, const std::string& name,
     moves = r.total_moves;
     benchjson::keep(r.total_moves);
   });
-  rep.counter(name, "moves", static_cast<double>(moves));
+  moves_counters(rep, name, moves, t);
 }
 
 void elect_case(benchjson::Reporter& rep, const std::string& name,
                 graph::Graph g, graph::Placement p) {
   sim::World w(std::move(g), std::move(p), 5);
-  rep.bench(name, [&] {
-    const auto r = w.run(core::make_elect_protocol(), {});
+  const sim::Protocol protocol = core::make_elect_protocol();
+  std::size_t moves = 0;
+  const double t = rep.bench(name, [&] {
+    const auto r = w.run(protocol, {});
+    moves = r.total_moves;
     benchjson::keep(r.completed ? 1 : 0);
   });
+  moves_counters(rep, name, moves, t);
 }
 
 }  // namespace
 
 int main() {
-  benchjson::Reporter rep("sim_throughput");
+  benchjson::Reporter rep("sim");
   std::printf("bench_sim_throughput%s\n", rep.smoke() ? " [smoke]" : "");
 
   scheduler_steps(rep, 256);

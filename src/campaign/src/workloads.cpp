@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "qelect/campaign/world_pool.hpp"
 #include "qelect/cayley/recognition.hpp"
 #include "qelect/cayley/translation.hpp"
 #include "qelect/core/analysis.hpp"
@@ -82,11 +83,14 @@ Metrics run_analyze(const graph::Graph& g, const graph::Placement& p,
   return out;
 }
 
-Metrics run_elect(const TaskSpec& task, const graph::Graph& g,
-                  const graph::Placement& p, const CancelToken& cancel) {
+Metrics run_elect(const TaskSpec& task, const CancelToken& cancel) {
+  // Pooled: a shard sweeping seeds/schedulers over one instance reuses the
+  // same arena (boards, colors, scheduler buffers) for every task.
+  sim::World& w = WorldPool::local().acquire(task, /*quantitative=*/false);
+  const graph::Graph& g = w.graph();
+  const graph::Placement& p = w.placement();
   const auto plan = core::protocol_plan(g, p);
   cancel.throw_if_cancelled();
-  sim::World w(g, p, task.color_seed);
   const auto r = w.run(core::make_elect_protocol(), run_config(task));
   const bool matches = r.completed &&
                        r.clean_election() == (plan.final_gcd == 1) &&
@@ -101,19 +105,19 @@ Metrics run_elect(const TaskSpec& task, const graph::Graph& g,
           {"steps", static_cast<double>(r.steps)}};
 }
 
-Metrics run_quantitative(const TaskSpec& task, const graph::Graph& g,
-                         const graph::Placement& p) {
-  sim::World w = sim::World::quantitative(g, p, task.color_seed);
+Metrics run_quantitative(const TaskSpec& task) {
+  sim::World& w = WorldPool::local().acquire(task, /*quantitative=*/true);
   const auto r = w.run(core::make_quantitative_protocol(), run_config(task));
-  return {{"n", static_cast<double>(g.node_count())},
+  return {{"n", static_cast<double>(w.graph().node_count())},
           {"clean_election", r.clean_election() ? 1 : 0},
           {"moves", static_cast<double>(r.total_moves)}};
 }
 
-Metrics run_moves(const TaskSpec& task, const graph::Graph& g,
-                  const graph::Placement& p, const CancelToken& cancel) {
+Metrics run_moves(const TaskSpec& task, const CancelToken& cancel) {
   cancel.throw_if_cancelled();
-  sim::World w(g, p, task.color_seed);
+  sim::World& w = WorldPool::local().acquire(task, /*quantitative=*/false);
+  const graph::Graph& g = w.graph();
+  const graph::Placement& p = w.placement();
   const auto r = w.run(core::make_elect_protocol(), run_config(task));
   const std::uint64_t budget = core::theorem31_move_budget(g, p);
   return {{"n", static_cast<double>(g.node_count())},
@@ -168,12 +172,14 @@ Metrics run_cayley_dichotomy(const graph::Graph& g,
 
 Metrics run_petersen_witness(const TaskSpec& task) {
   const graph::Graph g = graph::petersen();
-  const graph::Placement p(10, {0, 5});
-  const auto plan = core::protocol_plan(g, p);
-  sim::World we(g, p, task.color_seed);
-  const auto relect = we.run(core::make_elect_protocol(), run_config(task));
-  sim::World wp(g, p, task.color_seed);
-  const auto radhoc = wp.run(core::make_petersen_protocol(), run_config(task));
+  const std::vector<graph::NodeId> home_bases{0, 5};
+  const auto plan =
+      core::protocol_plan(g, graph::Placement(10, home_bases));
+  // One pooled arena serves both runs: run() fully resets between them.
+  sim::World& w = WorldPool::local().acquire("petersen", g, home_bases,
+                                             task.color_seed, false);
+  const auto relect = w.run(core::make_elect_protocol(), run_config(task));
+  const auto radhoc = w.run(core::make_petersen_protocol(), run_config(task));
   return {{"final_gcd", static_cast<double>(plan.final_gcd)},
           {"elect_fails", relect.clean_failure() ? 1 : 0},
           {"adhoc_elects", radhoc.clean_election() ? 1 : 0}};
@@ -207,14 +213,17 @@ std::vector<std::pair<std::string, double>> run_task(
   if (task.workload == "k2-exhaustive") return run_k2_exhaustive();
   if (task.workload == "petersen-witness") return run_petersen_witness(task);
 
+  // Simulation workloads take their (graph, placement) from the pooled
+  // World -- building the graph here would defeat the arena reuse.
+  if (task.workload == "elect") return run_elect(task, cancel);
+  if (task.workload == "quantitative") return run_quantitative(task);
+  if (task.workload == "moves") return run_moves(task, cancel);
+
   const graph::Graph g = task.graph.build();
   const graph::Placement p(g.node_count(), task.home_bases);
   if (task.workload == "analyze") {
     return run_analyze(g, p, task.labeling_budget, cancel);
   }
-  if (task.workload == "elect") return run_elect(task, g, p, cancel);
-  if (task.workload == "quantitative") return run_quantitative(task, g, p);
-  if (task.workload == "moves") return run_moves(task, g, p, cancel);
   if (task.workload == "cayley-dichotomy") return run_cayley_dichotomy(g, p);
   throw CheckError("campaign: unknown workload '" + task.workload + "'");
 }

@@ -9,6 +9,7 @@
 // is exactly why class plans computed from maps agree across agents.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -17,6 +18,10 @@
 #include "qelect/sim/color.hpp"
 
 namespace qelect::core {
+
+namespace detail {
+struct BfsTrees;  // memoized all-sources BFS predecessor trees
+}
 
 using graph::NodeId;
 using graph::PortId;
@@ -41,6 +46,23 @@ struct AgentMap {
 
 /// Shortest port-route from `from` to `to` (BFS); empty when from == to.
 std::vector<PortId> route(const graph::Graph& g, NodeId from, NodeId to);
+
+/// A per-map route oracle.  Routes are memoized per port structure in a
+/// global cache; constructing a RouteFinder pays the cache lookup once, so
+/// protocols that route over the same map for many legs (goto_node in
+/// ELECT) query in O(path length) with no hashing and no BFS.  Results are
+/// identical to route(g, from, to).  Cheap to copy (trees are shared).
+class RouteFinder {
+ public:
+  RouteFinder() = default;
+  explicit RouteFinder(const graph::Graph& g);
+
+  /// Same path route(g, from, to) returns, from the shared trees.
+  std::vector<PortId> route(NodeId from, NodeId to) const;
+
+ private:
+  std::shared_ptr<const detail::BfsTrees> trees_;
+};
 
 /// A depth-first tour: the port sequence that visits every node of `g` at
 /// least once starting and ending at `start` (each tree edge walked twice,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,12 @@ struct ProtocolClassPlan {
 /// Computes the plan from the global graph (the oracle view).
 ProtocolClassPlan protocol_plan(const graph::Graph& g,
                                 const graph::Placement& p);
+
+/// Same plan without the copy: hands back the memoized cache entry itself.
+/// Hot callers (an ELECT agent deriving the plan from its map every run)
+/// read the plan but never mutate it.
+std::shared_ptr<const ProtocolClassPlan> protocol_plan_shared(
+    const graph::Graph& g, const graph::Placement& p);
 
 /// Solvability verdicts for an election instance.
 enum class Verdict {

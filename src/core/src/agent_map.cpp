@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "qelect/util/assert.hpp"
+#include "structure_cache.hpp"
 
 namespace qelect::core {
 
@@ -27,28 +31,82 @@ graph::Placement AgentMap::placement() const {
   return graph::Placement(graph.node_count(), home_base_nodes());
 }
 
-std::vector<PortId> route(const graph::Graph& g, NodeId from, NodeId to) {
-  QELECT_CHECK(from < g.node_count() && to < g.node_count(),
-               "route: node out of range");
-  if (from == to) return {};
-  // BFS storing, per node, the (previous node, arriving port) pair.
-  std::vector<int> prev_node(g.node_count(), -1);
-  std::vector<PortId> prev_port(g.node_count(), 0);
-  std::deque<NodeId> queue{from};
-  prev_node[from] = static_cast<int>(from);
-  while (!queue.empty()) {
-    const NodeId x = queue.front();
-    queue.pop_front();
-    if (x == to) break;
-    for (PortId p = 0; p < g.degree(x); ++p) {
-      const graph::HalfEdge& h = g.peer(x, p);
-      if (prev_node[h.to] < 0) {
-        prev_node[h.to] = static_cast<int>(x);
-        prev_port[h.to] = p;
-        queue.push_back(h.to);
+namespace detail {
+
+/// BFS predecessor trees from every source of one port structure --
+/// exactly the (prev_node, prev_port) arrays route() used to compute per
+/// call, so reconstructed paths are identical to the uncached ones.
+struct BfsTrees {
+  std::vector<std::vector<int>> prev_node;     // [from][node]
+  std::vector<std::vector<PortId>> prev_port;  // [from][node]
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::BfsTrees;
+
+std::shared_ptr<const BfsTrees> trees_for(const graph::Graph& g) {
+  std::vector<std::uint64_t> key;
+  detail::append_graph_structure(key, g);
+
+  static std::mutex mutex;
+  static std::unordered_map<std::vector<std::uint64_t>,
+                            std::shared_ptr<const BfsTrees>,
+                            detail::StructureKeyHash>
+      cache;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  const std::size_t n = g.node_count();
+  auto trees = std::make_shared<BfsTrees>();
+  trees->prev_node.assign(n, {});
+  trees->prev_port.assign(n, {});
+  for (NodeId from = 0; from < n; ++from) {
+    std::vector<int>& prev_node = trees->prev_node[from];
+    std::vector<PortId>& prev_port = trees->prev_port[from];
+    prev_node.assign(n, -1);
+    prev_port.assign(n, 0);
+    std::deque<NodeId> queue{from};
+    prev_node[from] = static_cast<int>(from);
+    while (!queue.empty()) {
+      const NodeId x = queue.front();
+      queue.pop_front();
+      for (PortId p = 0; p < g.degree(x); ++p) {
+        const graph::HalfEdge& h = g.peer(x, p);
+        if (prev_node[h.to] < 0) {
+          prev_node[h.to] = static_cast<int>(x);
+          prev_port[h.to] = p;
+          queue.push_back(h.to);
+        }
       }
     }
   }
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (cache.size() >= 1024) cache.clear();  // cap: sweeps cannot grow it
+  return cache.emplace(std::move(key), std::move(trees)).first->second;
+}
+
+}  // namespace
+
+std::vector<PortId> route(const graph::Graph& g, NodeId from, NodeId to) {
+  QELECT_CHECK(from < g.node_count() && to < g.node_count(),
+               "route: node out of range");
+  return RouteFinder(g).route(from, to);
+}
+
+RouteFinder::RouteFinder(const graph::Graph& g) : trees_(trees_for(g)) {}
+
+std::vector<PortId> RouteFinder::route(NodeId from, NodeId to) const {
+  QELECT_CHECK(trees_ != nullptr && from < trees_->prev_node.size() &&
+                   to < trees_->prev_node.size(),
+               "route: node out of range");
+  if (from == to) return {};
+  const std::vector<int>& prev_node = trees_->prev_node[from];
+  const std::vector<PortId>& prev_port = trees_->prev_port[from];
   QELECT_CHECK(prev_node[to] >= 0, "route: target unreachable");
   std::vector<PortId> ports;
   NodeId cursor = to;

@@ -1,7 +1,10 @@
 #include "qelect/core/analysis.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <unordered_map>
 
 #include "qelect/cayley/translation.hpp"
 #include "qelect/core/surrounding.hpp"
@@ -9,6 +12,7 @@
 #include "qelect/util/parallel.hpp"
 #include "qelect/util/math.hpp"
 #include "qelect/views/symmetricity.hpp"
+#include "structure_cache.hpp"
 
 namespace qelect::core {
 
@@ -23,8 +27,10 @@ std::size_t ProtocolClassPlan::phases_executed() const {
   return d.size();
 }
 
-ProtocolClassPlan protocol_plan(const graph::Graph& g,
-                                const graph::Placement& p) {
+namespace {
+
+ProtocolClassPlan protocol_plan_uncached(const graph::Graph& g,
+                                         const graph::Placement& p) {
   QELECT_CHECK(p.agent_count() > 0, "protocol_plan: no agents placed");
   const iso::OrderedClasses ordered = surrounding_classes(g, p);
 
@@ -53,6 +59,42 @@ ProtocolClassPlan protocol_plan(const graph::Graph& g,
   plan.final_gcd = gcd_all(plan.sizes);
   QELECT_ASSERT(plan.d.empty() || plan.d.back() == plan.final_gcd);
   return plan;
+}
+
+}  // namespace
+
+std::shared_ptr<const ProtocolClassPlan> protocol_plan_shared(
+    const graph::Graph& g, const graph::Placement& p) {
+  // Memoized: the plan is a pure function of (port structure, home bases),
+  // and the dominant caller -- an ELECT agent deriving the plan from its
+  // map, every run -- re-submits identical structures millions of times in
+  // a campaign.  The surrounding-certificate cascade this skips is the
+  // single most expensive part of an elect run.
+  std::vector<std::uint64_t> key;
+  detail::append_graph_structure(key, g);
+  key.push_back(static_cast<std::uint64_t>(-1));  // section separator
+  for (const NodeId b : p.home_bases()) key.push_back(b);
+
+  static std::mutex mutex;
+  static std::unordered_map<std::vector<std::uint64_t>,
+                            std::shared_ptr<const ProtocolClassPlan>,
+                            detail::StructureKeyHash>
+      cache;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto plan =
+      std::make_shared<const ProtocolClassPlan>(protocol_plan_uncached(g, p));
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (cache.size() >= 4096) cache.clear();  // cap: sweeps cannot grow it
+  return cache.emplace(std::move(key), std::move(plan)).first->second;
+}
+
+ProtocolClassPlan protocol_plan(const graph::Graph& g,
+                                const graph::Placement& p) {
+  return *protocol_plan_shared(g, p);
 }
 
 std::string FeasibilityReport::verdict_string() const {

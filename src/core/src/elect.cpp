@@ -1,6 +1,7 @@
 #include "qelect/core/elect.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <optional>
 
@@ -48,10 +49,11 @@ struct Squad {
 struct Navigator {
   const AgentMap* map = nullptr;
   NodeId here = 0;
+  RouteFinder routes;  // hash-free per-leg routing over the fixed map
 };
 
 Task<void> goto_node(AgentCtx& ctx, Navigator& nav, NodeId target) {
-  const auto ports = route(nav.map->graph, nav.here, target);
+  const auto ports = nav.routes.route(nav.here, target);
   for (PortId p : ports) {
     co_await ctx.move(p);
   }
@@ -63,13 +65,13 @@ Task<void> goto_node(AgentCtx& ctx, Navigator& nav, NodeId target) {
 std::size_t count_round_signs(const Whiteboard& wb, std::uint32_t tag,
                               std::int64_t phase, std::int64_t round) {
   std::vector<Color> seen;
-  for (const Sign& s : wb.signs()) {
-    if (s.tag != tag || s.payload.size() < 2) continue;
-    if (s.payload[0] != phase || s.payload[1] != round) continue;
+  wb.for_each_with_tag(tag, [&](const Sign& s) {
+    if (s.payload.size() < 2) return;
+    if (s.payload[0] != phase || s.payload[1] != round) return;
     if (std::find(seen.begin(), seen.end(), s.color) == seen.end()) {
       seen.push_back(s.color);
     }
-  }
+  });
   return seen.size();
 }
 
@@ -79,13 +81,13 @@ std::vector<Color> colors_of_round_signs(const Whiteboard& wb,
                                          std::int64_t phase,
                                          std::int64_t round) {
   std::vector<Color> out;
-  for (const Sign& s : wb.signs()) {
-    if (s.tag != tag || s.payload.size() < 2) continue;
-    if (s.payload[0] != phase || s.payload[1] != round) continue;
+  wb.for_each_with_tag(tag, [&](const Sign& s) {
+    if (s.payload.size() < 2) return;
+    if (s.payload[0] != phase || s.payload[1] != round) return;
     if (std::find(out.begin(), out.end(), s.color) == out.end()) {
       out.push_back(s.color);
     }
-  }
+  });
   return out;
 }
 
@@ -106,14 +108,13 @@ Task<void> barrier(AgentCtx& ctx, Navigator& nav, NodeId my_home,
     const Color who = squad.colors[i];
     co_await goto_node(ctx, nav, squad.homes[i]);
     co_await ctx.wait_until([who, phase, round, stage](const Whiteboard& wb) {
-      for (const Sign& s : wb.signs()) {
-        if (s.tag == kTagBarrier && s.color == who && s.payload.size() == 4 &&
-            s.payload[0] == phase && s.payload[1] == round &&
-            s.payload[2] == stage) {
-          return true;
-        }
-      }
-      return false;
+      bool found = false;
+      wb.for_each_with_tag(kTagBarrier, [&](const Sign& s) {
+        found = found || (s.color == who && s.payload.size() == 4 &&
+                          s.payload[0] == phase && s.payload[1] == round &&
+                          s.payload[2] == stage);
+      });
+      return found;
     });
   }
 }
@@ -194,13 +195,10 @@ Task<std::vector<Color>> searcher_round(AgentCtx& ctx, Navigator& nav,
     co_await goto_node(ctx, nav, waiting.homes[i]);
     co_await ctx.board([&](Whiteboard& wb) {
       bool taken = false;
-      for (const Sign& s : wb.signs()) {
-        if (s.tag == kTagMatched && s.payload.size() == 2 &&
-            s.payload[0] == phase && s.payload[1] == round) {
-          taken = true;
-          break;
-        }
-      }
+      wb.for_each_with_tag(kTagMatched, [&](const Sign& s) {
+        taken = taken || (s.payload.size() == 2 && s.payload[0] == phase &&
+                          s.payload[1] == round);
+      });
       if (!taken) {
         wb.post(Sign{ctx.self(), kTagMatched, {phase, round}});
         matched = true;
@@ -222,13 +220,12 @@ Task<std::vector<Color>> searcher_round(AgentCtx& ctx, Navigator& nav,
     co_await goto_node(ctx, nav, waiting.homes[i]);
     bool this_matched = false;
     co_await ctx.board([&](Whiteboard& wb) {
-      for (const Sign& s : wb.signs()) {
-        if (s.tag == kTagMatched && s.payload.size() == 2 &&
-            s.payload[0] == phase && s.payload[1] == round) {
+      wb.for_each_with_tag(kTagMatched, [&](const Sign& s) {
+        if (s.payload.size() == 2 && s.payload[0] == phase &&
+            s.payload[1] == round) {
           this_matched = true;
-          break;
         }
-      }
+      });
       wb.post(Sign{ctx.self(), kTagRoundDone, {phase, round}});
     });
     if (this_matched) matched_colors.push_back(waiting.colors[i]);
@@ -261,12 +258,12 @@ Task<WaitRoundResult> waiting_round(AgentCtx& ctx, Navigator& nav,
       result.outcome_posted = true;
       return;
     }
-    for (const Sign& s : wb.signs()) {
-      if (s.tag == kTagMatched && s.payload.size() == 2 &&
-          s.payload[0] == phase && s.payload[1] == round) {
+    wb.for_each_with_tag(kTagMatched, [&](const Sign& s) {
+      if (s.payload.size() == 2 && s.payload[0] == phase &&
+          s.payload[1] == round) {
         result.i_was_matched = true;
       }
-    }
+    });
   });
   if (result.i_was_matched) {
     // Tell the rest of the waiting squad that we are out (they cannot
@@ -311,11 +308,13 @@ sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
   };
   // ---- MAP-DRAWING ----
   AgentMap map = co_await map_drawing(ctx);
-  Navigator nav{&map, 0};
+  Navigator nav{&map, 0, RouteFinder(map.graph)};
   const NodeId my_home = 0;
 
   // ---- COMPUTE & ORDER ----
-  const ProtocolClassPlan plan = protocol_plan(map.graph, map.placement());
+  const std::shared_ptr<const ProtocolClassPlan> plan_ptr =
+      protocol_plan_shared(map.graph, map.placement());
+  const ProtocolClassPlan& plan = *plan_ptr;
   const std::size_t k = plan.classes.size();
   const std::size_t ell = plan.ell;
 
@@ -364,15 +363,12 @@ sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
     co_await ctx.wait_until([phase, expected](const Whiteboard& wb) {
       if (wb.find_tag(kTagOutcome) != nullptr) return true;
       std::vector<Color> seen;
-      for (const Sign& s : wb.signs()) {
-        if (s.tag != kTagActivate || s.payload.size() != 1 ||
-            s.payload[0] != phase) {
-          continue;
-        }
+      wb.for_each_with_tag(kTagActivate, [&](const Sign& s) {
+        if (s.payload.size() != 1 || s.payload[0] != phase) return;
         if (std::find(seen.begin(), seen.end(), s.color) == seen.end()) {
           seen.push_back(s.color);
         }
-      }
+      });
       return seen.size() >= expected;
     });
     bool ended = false;
@@ -382,15 +378,14 @@ sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
         ended = true;
         return;
       }
-      for (const Sign& s : wb.signs()) {
-        if (s.tag == kTagActivate && s.payload.size() == 1 &&
-            s.payload[0] == static_cast<std::int64_t>(my_class)) {
-          if (std::find(activators.begin(), activators.end(), s.color) ==
-              activators.end()) {
-            activators.push_back(s.color);
-          }
+      wb.for_each_with_tag(kTagActivate, [&](const Sign& s) {
+        if (s.payload.size() == 1 &&
+            s.payload[0] == static_cast<std::int64_t>(my_class) &&
+            std::find(activators.begin(), activators.end(), s.color) ==
+                activators.end()) {
+          activators.push_back(s.color);
         }
-      }
+      });
     });
     if (ended) {
       co_await await_outcome(ctx, nav, my_home);
@@ -554,14 +549,13 @@ sim::Task<ElectInnerResult> elect_inner(sim::AgentCtx& ctx,
             co_await goto_node(ctx, nav, actives.homes[i]);
             bool stays = false;
             co_await ctx.board([&](Whiteboard& wb) {
-              for (const Sign& s : wb.signs()) {
-                if (s.tag == kTagBarrier && s.color == who &&
-                    s.payload.size() == 4 && s.payload[0] == phase &&
-                    s.payload[1] == round && s.payload[2] == 2 &&
-                    s.payload[3] == 1) {
+              wb.for_each_with_tag(kTagBarrier, [&](const Sign& s) {
+                if (s.color == who && s.payload.size() == 4 &&
+                    s.payload[0] == phase && s.payload[1] == round &&
+                    s.payload[2] == 2 && s.payload[3] == 1) {
                   stays = true;
                 }
-              }
+              });
             });
             if (stays) next.add(who, actives.homes[i]);
           }

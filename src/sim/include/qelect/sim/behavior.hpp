@@ -17,26 +17,29 @@
 
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <optional>
 #include <utility>
 #include <variant>
 
 #include "qelect/graph/graph.hpp"
+#include "qelect/sim/frame_pool.hpp"
+#include "qelect/sim/inline_function.hpp"
 #include "qelect/sim/whiteboard.hpp"
 #include "qelect/util/assert.hpp"
 
 namespace qelect::sim {
 
-/// Pending atomic actions an agent can request from the runtime.
+/// Pending atomic actions an agent can request from the runtime.  The
+/// closures ride in InlineFunction so a typical protocol step allocates
+/// nothing (see inline_function.hpp).
 struct ActionMove {
   graph::PortId port;
 };
 struct ActionBoard {
-  std::function<void(Whiteboard&)> fn;
+  InlineFunction<void(Whiteboard&)> fn;
 };
 struct ActionWait {
-  std::function<bool(const Whiteboard&)> pred;
+  InlineFunction<bool(const Whiteboard&)> pred;
 };
 struct ActionYield {};
 
@@ -50,6 +53,15 @@ struct AgentPromiseBase {
   PendingAction pending;
   AgentPromiseBase* root = nullptr;     // the Behavior promise of this agent
   std::coroutine_handle<> leaf;         // meaningful on the root only
+
+  // All agent coroutine frames (Behavior and every nested Task) come from
+  // the recycling FramePool instead of the raw heap.
+  static void* operator new(std::size_t size) {
+    return FramePool::allocate(size);
+  }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    FramePool::deallocate(p, size);
+  }
 };
 
 /// The top-level coroutine type for agent protocols.

@@ -1,0 +1,146 @@
+// InlineFunction: a move-only callable wrapper with guaranteed small-buffer
+// storage, the simulator's replacement for std::function on the per-step
+// hot path.
+//
+// Every board() and wait_until() an agent issues wraps a closure; with
+// std::function the typical protocol closure (a handful of captured
+// references plus a couple of ints) exceeds the library's tiny SBO and
+// costs a heap allocation *per simulated step*.  InlineFunction stores any
+// closure up to `Capacity` bytes inline in the PendingAction itself --
+// protocol closures are small by construction -- and falls back to the
+// heap only for oversized captures, so correctness never depends on the
+// capture list fitting.
+//
+// Deliberately minimal: move-only (closures are consumed by the runtime,
+// never shared), no target-type introspection, invocation through a
+// per-type ops table (one indirect call, same cost as std::function's
+// vtable hop but with no allocation behind it).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qelect::sim {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(target(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+    bool on_heap;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* self, Args&&... args) -> R {
+          return (*static_cast<F*>(self))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) {
+          ::new (dst) F(std::move(*static_cast<F*>(src)));
+          static_cast<F*>(src)->~F();
+        },
+        [](void* self) { static_cast<F*>(self)->~F(); },
+        false,
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* self, Args&&... args) -> R {
+          return (*static_cast<F*>(self))(std::forward<Args>(args)...);
+        },
+        nullptr,  // heap targets move by pointer, never relocate
+        [](void* self) { delete static_cast<F*>(self); },
+        true,
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  void steal(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->on_heap) {
+      heap_ = other.heap_;
+    } else {
+      ops_->relocate(buf_, other.buf_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+  void* target() const {
+    return ops_->on_heap ? heap_ : const_cast<unsigned char*>(buf_);
+  }
+
+  const Ops* ops_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    void* heap_;
+  };
+};
+
+}  // namespace qelect::sim

@@ -47,8 +47,19 @@ class MessageWorld {
 
   /// Runs `protocol` under `config`.  The scheduler picks among enabled
   /// compute steps *and* pending deliveries; Lockstep delivers and steps
-  /// everything once per round.
+  /// everything once per round.  Buffers are reused across runs.
   MessageRunResult run(const Protocol& protocol, const RunConfig& config);
+
+  /// Drops all per-run state while keeping allocated buffers (see
+  /// World::reset).
+  void reset();
+
+  /// Re-mints agent colors / quantitative labels from `color_seed`, then
+  /// reset().  Observationally identical to constructing a fresh
+  /// MessageWorld(g, p, color_seed).
+  void reset(std::uint64_t color_seed);
+
+  std::uint64_t color_seed() const { return color_seed_; }
 
   const Whiteboard& board_at(graph::NodeId node) const;
 
@@ -56,12 +67,33 @@ class MessageWorld {
   MessageWorld(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
                bool quantitative);
 
+  void mint_labels();
+
+  template <bool kTraced>
+  MessageRunResult run_impl(const Protocol& protocol,
+                            const RunConfig& config);
+
   graph::Graph graph_;
   graph::Placement placement_;
   bool quantitative_ = false;
+  std::uint64_t color_seed_ = 0;
   std::vector<Color> colors_;
   std::vector<std::int64_t> quant_ids_;
   std::vector<Whiteboard> boards_;
+
+  // Per-run working state, reused across runs (see World::Scratch).
+  struct Scratch {
+    std::vector<AgentCtx> contexts;
+    std::vector<Behavior> behaviors;
+    std::vector<std::size_t> enabled;
+    std::vector<std::size_t> round;
+    std::vector<std::uint8_t> waiting;
+    std::vector<std::uint8_t> wait_sat;
+    std::vector<std::vector<std::uint32_t>> waiters;
+    std::vector<std::uint8_t> in_flight;     // agent is a message on a link
+    std::vector<graph::HalfEdge> arrival;    // far side it will arrive at
+  };
+  Scratch scratch_;
 };
 
 }  // namespace qelect::sim

@@ -11,21 +11,103 @@
 // access is one atomic read-modify-write step (see AgentCtx::board), so two
 // agents can never interleave inside an access -- which is exactly what the
 // acquire races of NODE-REDUCE and of the Petersen protocol rely on.
+//
+// Posting and scanning signs is the simulator's per-step hot path, so the
+// representation is allocation-free for the signs protocols actually
+// write: SignPayload stores up to four words inline (every protocol in
+// src/core posts <= 4) and spills to the heap only beyond that, and the
+// scan/erase entry points are templates over the caller's predicate or
+// visitor rather than std::function.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
+#include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "qelect/sim/color.hpp"
 
 namespace qelect::sim {
 
+/// A sign's data words.  Vector-like interface, but payloads of <= 4 words
+/// (all of them, in practice) live inline in the Sign itself.
+class SignPayload {
+ public:
+  SignPayload() = default;
+  SignPayload(std::initializer_list<std::int64_t> init) {
+    for (const std::int64_t v : init) push_back(v);
+  }
+
+  SignPayload(const SignPayload& other) { *this = other; }
+  SignPayload& operator=(const SignPayload& other) {
+    if (this != &other) {
+      size_ = other.size_;
+      inline_ = other.inline_;
+      spill_ = other.spill_
+                   ? std::make_unique<std::vector<std::int64_t>>(*other.spill_)
+                   : nullptr;
+    }
+    return *this;
+  }
+  SignPayload(SignPayload&&) noexcept = default;
+  SignPayload& operator=(SignPayload&&) noexcept = default;
+
+  std::size_t size() const { return spill_ ? spill_->size() : size_; }
+  bool empty() const { return size() == 0; }
+
+  std::int64_t operator[](std::size_t i) const { return data()[i]; }
+  std::int64_t& operator[](std::size_t i) {
+    return spill_ ? (*spill_)[i] : inline_[i];
+  }
+
+  const std::int64_t* begin() const { return data(); }
+  const std::int64_t* end() const { return data() + size(); }
+  std::int64_t front() const { return data()[0]; }
+  std::int64_t back() const { return data()[size() - 1]; }
+
+  void push_back(std::int64_t v) {
+    if (spill_) {
+      spill_->push_back(v);
+      return;
+    }
+    if (size_ < kInline) {
+      inline_[size_++] = v;
+      return;
+    }
+    spill_ = std::make_unique<std::vector<std::int64_t>>(inline_.begin(),
+                                                         inline_.end());
+    spill_->push_back(v);
+  }
+
+  void clear() {
+    size_ = 0;
+    spill_.reset();
+  }
+
+  bool operator==(const SignPayload& other) const {
+    return size() == other.size() &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  static constexpr std::size_t kInline = 4;
+
+  const std::int64_t* data() const {
+    return spill_ ? spill_->data() : inline_.data();
+  }
+
+  std::uint32_t size_ = 0;                         // inline word count
+  std::array<std::int64_t, kInline> inline_{};
+  std::unique_ptr<std::vector<std::int64_t>> spill_;  // only when > kInline
+};
+
 /// One colored sign on a whiteboard.
 struct Sign {
-  Color color;                        // the writer's color
-  std::uint32_t tag = 0;              // protocol-defined kind
-  std::vector<std::int64_t> payload;  // protocol-defined data
+  Color color;            // the writer's color
+  std::uint32_t tag = 0;  // protocol-defined kind
+  SignPayload payload;    // protocol-defined data
   bool operator==(const Sign&) const = default;
 };
 
@@ -37,24 +119,61 @@ class Whiteboard {
   void post(Sign sign) { signs_.push_back(std::move(sign)); }
 
   /// Removes all signs matching the predicate; returns how many.
-  std::size_t erase_if(const std::function<bool(const Sign&)>& pred);
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    const auto it = std::remove_if(signs_.begin(), signs_.end(), pred);
+    const std::size_t removed = static_cast<std::size_t>(signs_.end() - it);
+    signs_.erase(it, signs_.end());
+    return removed;
+  }
 
-  /// All signs with the given tag.
+  /// Calls `visit(sign)` for every sign with the given tag, in posting
+  /// order.  The non-copying reading primitive: prefer it over with_tag on
+  /// any path that runs per step.
+  template <typename Visitor>
+  void for_each_with_tag(std::uint32_t tag, Visitor&& visit) const {
+    for (const Sign& s : signs_) {
+      if (s.tag == tag) visit(s);
+    }
+  }
+
+  /// All signs with the given tag, copied out (convenience for tests and
+  /// post-run inspection; allocates).
   std::vector<Sign> with_tag(std::uint32_t tag) const;
 
   /// First sign with the given tag, if any.
-  const Sign* find_tag(std::uint32_t tag) const;
+  const Sign* find_tag(std::uint32_t tag) const {
+    for (const Sign& s : signs_) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  }
 
   /// First sign with the given tag and color, if any.
-  const Sign* find(std::uint32_t tag, const Color& color) const;
+  const Sign* find(std::uint32_t tag, const Color& color) const {
+    for (const Sign& s : signs_) {
+      if (s.tag == tag && s.color == color) return &s;
+    }
+    return nullptr;
+  }
 
   /// Number of signs with the given tag.
-  std::size_t count_tag(std::uint32_t tag) const;
+  std::size_t count_tag(std::uint32_t tag) const {
+    std::size_t count = 0;
+    for (const Sign& s : signs_) {
+      if (s.tag == tag) ++count;
+    }
+    return count;
+  }
 
   /// Number of *distinct colors* among signs with the given tag -- the
   /// count-based rendezvous primitive ("wait until d distinct activation
   /// signs appear") that lets agents coordinate without ordering colors.
   std::size_t distinct_colors_with_tag(std::uint32_t tag) const;
+
+  /// Erases every sign but keeps the allocated capacity: the reuse hook
+  /// for back-to-back runs on the same World.
+  void clear() { signs_.clear(); }
 
  private:
   std::vector<Sign> signs_;

@@ -74,10 +74,22 @@ class AgentCtx {
 
   /// Atomic actions (each one co_await = one step):
   ActionAwaiter move(graph::PortId port);
-  /// Atomic read-modify-write of the local whiteboard under mutex.
-  ActionAwaiter board(std::function<void(Whiteboard&)> fn);
-  /// Suspends until the local whiteboard satisfies `pred`.
-  ActionAwaiter wait_until(std::function<bool(const Whiteboard&)> pred);
+  /// Atomic read-modify-write of the local whiteboard under mutex.  The
+  /// closure is stored inline in the pending action (no allocation) for
+  /// captures up to InlineFunction's buffer size.
+  template <typename Fn>
+  ActionAwaiter board(Fn&& fn) {
+    return ActionAwaiter{ActionBoard{
+        InlineFunction<void(Whiteboard&)>(std::forward<Fn>(fn))}};
+  }
+  /// Suspends until the local whiteboard satisfies `pred`.  The predicate
+  /// must be a pure function of the board: the runtime re-evaluates it
+  /// only when the board mutates, not on every step.
+  template <typename Pred>
+  ActionAwaiter wait_until(Pred&& pred) {
+    return ActionAwaiter{ActionWait{
+        InlineFunction<bool(const Whiteboard&)>(std::forward<Pred>(pred))}};
+  }
   /// Gives the scheduler an interleaving point without acting.
   ActionAwaiter yield();
 
@@ -188,8 +200,23 @@ class World {
   const std::vector<Color>& agent_colors() const { return colors_; }
 
   /// Runs `protocol` for every agent under `config`.  Resets whiteboards
-  /// and agent state first, so a World can be run multiple times.
+  /// and agent state first, so a World can be run multiple times; buffers
+  /// (boards, contexts, scheduler state) are reused across runs, never
+  /// reallocated.
   RunResult run(const Protocol& protocol, const RunConfig& config);
+
+  /// Drops all per-run state (signs, coroutine frames) while keeping every
+  /// allocated buffer.  run() does this implicitly; calling it explicitly
+  /// just releases protocol resources early (e.g. before pooling).
+  void reset();
+
+  /// Re-mints agent colors (and quantitative labels) from `color_seed`,
+  /// then reset().  A no-op label-wise when the seed is unchanged.  This
+  /// is how campaign::WorldPool retargets a cached World at a new task:
+  /// observationally identical to constructing World(g, p, color_seed).
+  void reset(std::uint64_t color_seed);
+
+  std::uint64_t color_seed() const { return color_seed_; }
 
   /// Post-run inspection (tests / external observer only).
   const Whiteboard& board_at(graph::NodeId node) const;
@@ -198,12 +225,32 @@ class World {
   World(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
         bool quantitative);
 
+  void mint_labels();
+
+  template <bool kTraced>
+  RunResult run_impl(const Protocol& protocol, const RunConfig& config);
+
   graph::Graph graph_;
   graph::Placement placement_;
   bool quantitative_ = false;
+  std::uint64_t color_seed_ = 0;
   std::vector<Color> colors_;              // per agent, home-base order
   std::vector<std::int64_t> quant_ids_;    // per agent if quantitative
   std::vector<Whiteboard> boards_;         // per node
+
+  // Per-run working state, kept across runs so the hot loop never
+  // allocates once the buffers reach steady size.  Contents are
+  // meaningless between runs.
+  struct Scratch {
+    std::vector<AgentCtx> contexts;
+    std::vector<Behavior> behaviors;
+    std::vector<std::size_t> enabled;  // sorted; maintained incrementally
+    std::vector<std::size_t> round;    // Lockstep round snapshot
+    std::vector<std::uint8_t> waiting;   // agent parked on a wait_until
+    std::vector<std::uint8_t> wait_sat;  // cached predicate value while parked
+    std::vector<std::vector<std::uint32_t>> waiters;  // per node
+  };
+  Scratch scratch_;
 };
 
 }  // namespace qelect::sim

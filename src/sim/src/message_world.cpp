@@ -23,14 +23,19 @@ MessageWorld::MessageWorld(graph::Graph g, graph::Placement p,
                            std::uint64_t color_seed, bool quantitative)
     : graph_(std::move(g)),
       placement_(std::move(p)),
-      quantitative_(quantitative) {
+      quantitative_(quantitative),
+      color_seed_(color_seed) {
   QELECT_CHECK(placement_.node_count() == graph_.node_count(),
                "MessageWorld: placement does not fit graph");
   QELECT_CHECK(graph_.is_connected(), "MessageWorld: graph must be connected");
-  ColorUniverse universe(color_seed);
+  mint_labels();
+}
+
+void MessageWorld::mint_labels() {
+  ColorUniverse universe(color_seed_);
   colors_ = universe.mint_many(placement_.agent_count());
   if (quantitative_) {
-    Xoshiro256 rng(color_seed ^ 0x51a7eb71d3c2a9f0ULL);
+    Xoshiro256 rng(color_seed_ ^ 0x51a7eb71d3c2a9f0ULL);
     std::vector<std::int64_t> ids;
     while (ids.size() < placement_.agent_count()) {
       const std::int64_t candidate =
@@ -43,6 +48,20 @@ MessageWorld::MessageWorld(graph::Graph g, graph::Placement p,
   }
 }
 
+void MessageWorld::reset() {
+  scratch_.behaviors.clear();
+  scratch_.contexts.clear();
+  for (Whiteboard& b : boards_) b.clear();
+}
+
+void MessageWorld::reset(std::uint64_t color_seed) {
+  reset();
+  if (color_seed != color_seed_) {
+    color_seed_ = color_seed;
+    mint_labels();
+  }
+}
+
 const Whiteboard& MessageWorld::board_at(graph::NodeId node) const {
   QELECT_CHECK(node < boards_.size(), "board_at: node out of range");
   return boards_[node];
@@ -50,16 +69,28 @@ const Whiteboard& MessageWorld::board_at(graph::NodeId node) const {
 
 MessageRunResult MessageWorld::run(const Protocol& protocol,
                                    const RunConfig& config) {
+  return config.sink != nullptr ? run_impl<true>(protocol, config)
+                                : run_impl<false>(protocol, config);
+}
+
+template <bool kTraced>
+MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
+                                        const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
-  boards_.assign(graph_.node_count(), Whiteboard{});
+  const std::size_t n = graph_.node_count();
+
+  scratch_.behaviors.clear();
+  boards_.resize(n);
+  for (Whiteboard& b : boards_) b.clear();
 
   trace::TraceSink* const sink = config.sink;
-  if (sink) {
+  if constexpr (kTraced) {
     sink->begin_run(
         detail::make_run_metadata(config, graph_, placement_, quantitative_));
   }
 
-  std::vector<AgentCtx> contexts(r);
+  std::vector<AgentCtx>& contexts = scratch_.contexts;
+  contexts.assign(r, AgentCtx{});
   for (std::size_t i = 0; i < r; ++i) {
     const graph::NodeId home = placement_.home_bases()[i];
     AgentCtx& ctx = contexts[i];
@@ -74,7 +105,7 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     boards_[home].post(std::move(mark));
   }
 
-  std::vector<Behavior> behaviors;
+  std::vector<Behavior>& behaviors = scratch_.behaviors;
   behaviors.reserve(r);
   for (std::size_t i = 0; i < r; ++i) {
     behaviors.push_back(protocol(contexts[i]));
@@ -84,42 +115,114 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
 
   // Transit state per agent: the half-edge the message is traversing, or
   // none.  An in-transit agent's only enabled step is its delivery.
-  struct Transit {
-    bool in_flight = false;
-    graph::HalfEdge arrival;  // the far side it will arrive at
-  };
-  std::vector<Transit> transit(r);
+  std::vector<std::uint8_t>& in_flight = scratch_.in_flight;
+  in_flight.assign(r, 0);
+  std::vector<graph::HalfEdge>& arrival = scratch_.arrival;
+  arrival.assign(r, graph::HalfEdge{});
 
   Scheduler scheduler(config, r);
   MessageRunResult result;
 
-  // Enabled = delivery pending, or a compute step the processor can take.
-  auto agent_enabled = [&](std::size_t i) -> bool {
-    if (transit[i].in_flight) return true;  // delivery is always possible
-    if (behaviors[i].done()) return false;
-    const PendingAction& pending = behaviors[i].handle().promise().pending;
-    if (std::holds_alternative<ActionMove>(pending)) return true;
-    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
-      return wait->pred(boards_[contexts[i].position_]);
-    }
-    return true;
+  // Same incremental enabled/waiter machinery as World::run_impl; the only
+  // extra state transition is Send/Deliver, and an in-flight agent is
+  // always enabled (its delivery is always possible).
+  std::vector<std::size_t>& enabled = scratch_.enabled;
+  enabled.clear();
+  std::vector<std::uint8_t>& waiting = scratch_.waiting;
+  waiting.assign(r, 0);
+  std::vector<std::uint8_t>& wait_sat = scratch_.wait_sat;
+  wait_sat.assign(r, 0);
+  std::vector<std::vector<std::uint32_t>>& waiters = scratch_.waiters;
+  waiters.resize(n);
+  for (std::vector<std::uint32_t>& w : waiters) w.clear();
+
+  std::size_t live = r;
+  std::size_t in_flight_count = 0;
+  for (std::size_t i = 0; i < r; ++i) enabled.push_back(i);
+
+  const auto enabled_insert = [&enabled](std::size_t i) {
+    const auto it = std::lower_bound(enabled.begin(), enabled.end(), i);
+    if (it == enabled.end() || *it != i) enabled.insert(it, i);
+  };
+  const auto enabled_erase = [&enabled](std::size_t i) {
+    const auto it = std::lower_bound(enabled.begin(), enabled.end(), i);
+    if (it != enabled.end() && *it == i) enabled.erase(it);
   };
 
-  auto execute_step = [&](std::size_t i) {
+  const auto classify = [&](std::size_t i) {
+    if (in_flight[i]) {  // a message: delivery always enabled
+      enabled_insert(i);
+      return;
+    }
+    if (behaviors[i].done()) {
+      --live;
+      enabled_erase(i);
+      return;
+    }
+    PendingAction& pending = behaviors[i].handle().promise().pending;
+    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
+      const graph::NodeId node = contexts[i].position_;
+      waiting[i] = 1;
+      waiters[node].push_back(static_cast<std::uint32_t>(i));
+      const bool sat = wait->pred(boards_[node]);
+      wait_sat[i] = sat ? 1 : 0;
+      if (sat) {
+        enabled_insert(i);
+      } else {
+        enabled_erase(i);
+      }
+      return;
+    }
+    enabled_insert(i);
+  };
+
+  const auto unpark = [&](std::size_t i) {
+    std::vector<std::uint32_t>& list = waiters[contexts[i].position_];
+    for (std::uint32_t& slot : list) {
+      if (slot == i) {
+        slot = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+    waiting[i] = 0;
+  };
+
+  const auto notify_board = [&](graph::NodeId node) {
+    for (const std::uint32_t j : waiters[node]) {
+      const auto* wait =
+          std::get_if<ActionWait>(&behaviors[j].handle().promise().pending);
+      QELECT_ASSERT(wait != nullptr);
+      const bool sat = wait->pred(boards_[node]);
+      if (sat != (wait_sat[j] != 0)) {
+        wait_sat[j] = sat ? 1 : 0;
+        if (sat) {
+          enabled_insert(j);
+        } else {
+          enabled_erase(j);
+        }
+      }
+    }
+  };
+
+  const auto execute_step = [&](std::size_t i) {
     AgentCtx& ctx = contexts[i];
     TraceEvent::Kind kind = TraceEvent::Kind::Start;
     graph::PortId port = trace::kNoPort;
     graph::NodeId event_node = ctx.position_;
-    if (transit[i].in_flight) {
+    bool board_mutated = false;
+    graph::NodeId mutated_node = 0;
+    if (in_flight[i]) {
       // Delivery: the message (P, M) arrives and the processor resumes
       // executing P against its whiteboard.
-      transit[i].in_flight = false;
-      ctx.position_ = transit[i].arrival.to;
-      ctx.entry_port_ = transit[i].arrival.to_port;
+      in_flight[i] = 0;
+      --in_flight_count;
+      ctx.position_ = arrival[i].to;
+      ctx.entry_port_ = arrival[i].to_port;
       ++ctx.moves_;
       ++result.messages_delivered;
       kind = TraceEvent::Kind::Deliver;
-      port = transit[i].arrival.to_port;
+      port = arrival[i].to_port;
       event_node = ctx.position_;
       behaviors[i].resume_target().resume();
     } else {
@@ -130,8 +233,9 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
         // the link; it will resume only at delivery.
         QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
                      "agent moved through a nonexistent port");
-        transit[i].in_flight = true;
-        transit[i].arrival = graph_.peer(ctx.position_, mv->port);
+        in_flight[i] = 1;
+        ++in_flight_count;
+        arrival[i] = graph_.peer(ctx.position_, mv->port);
         kind = TraceEvent::Kind::Send;
         port = mv->port;
         event_node = ctx.position_;  // the node the message departs from
@@ -139,10 +243,13 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
         // Do NOT resume: the coroutine continues at delivery.
       } else {
         if (auto* bd = std::get_if<ActionBoard>(&pending)) {
-          bd->fn(boards_[ctx.position_]);
+          mutated_node = ctx.position_;
+          bd->fn(boards_[mutated_node]);
+          board_mutated = true;
           ++ctx.board_accesses_;
           kind = TraceEvent::Kind::Board;
         } else if (std::holds_alternative<ActionWait>(pending)) {
+          unpark(i);
           kind = TraceEvent::Kind::WaitResume;
         } else if (std::holds_alternative<ActionYield>(pending)) {
           kind = TraceEvent::Kind::Yield;
@@ -156,28 +263,18 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
     }
-    if (sink) {
+    if constexpr (kTraced) {
       sink->on_event(TraceEvent{result.steps, static_cast<std::uint32_t>(i),
                                 kind, event_node, port});
     }
     ++result.steps;
-    std::size_t in_flight = 0;
-    for (const Transit& t : transit) {
-      if (t.in_flight) ++in_flight;
-    }
-    result.max_in_transit = std::max(result.max_in_transit, in_flight);
+    result.max_in_transit = std::max(result.max_in_transit, in_flight_count);
+    classify(i);
+    if (board_mutated) notify_board(mutated_node);
   };
 
-  std::vector<std::size_t> enabled;
-  enabled.reserve(r);
   while (result.steps < config.max_steps) {
-    enabled.clear();
-    bool any_live = false;
-    for (std::size_t i = 0; i < r; ++i) {
-      if (!behaviors[i].done() || transit[i].in_flight) any_live = true;
-      if (agent_enabled(i)) enabled.push_back(i);
-    }
-    if (!any_live) {
+    if (live == 0) {
       result.completed = true;
       break;
     }
@@ -186,7 +283,9 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
       break;
     }
     if (config.policy == SchedulerPolicy::Lockstep) {
-      for (std::size_t i : enabled) {
+      std::vector<std::size_t>& round = scratch_.round;
+      round = enabled;
+      for (const std::size_t i : round) {
         if (result.steps >= config.max_steps) break;
         execute_step(i);
       }
@@ -212,7 +311,7 @@ MessageRunResult MessageWorld::run(const Protocol& protocol,
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
   }
-  if (sink) sink->end_run(detail::make_run_summary(result));
+  if constexpr (kTraced) sink->end_run(detail::make_run_summary(result));
   return result;
 }
 

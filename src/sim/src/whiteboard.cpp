@@ -1,16 +1,6 @@
 #include "qelect/sim/whiteboard.hpp"
 
-#include <algorithm>
-
 namespace qelect::sim {
-
-std::size_t Whiteboard::erase_if(
-    const std::function<bool(const Sign&)>& pred) {
-  const auto it = std::remove_if(signs_.begin(), signs_.end(), pred);
-  const std::size_t removed = static_cast<std::size_t>(signs_.end() - it);
-  signs_.erase(it, signs_.end());
-  return removed;
-}
 
 std::vector<Sign> Whiteboard::with_tag(std::uint32_t tag) const {
   std::vector<Sign> out;
@@ -20,37 +10,20 @@ std::vector<Sign> Whiteboard::with_tag(std::uint32_t tag) const {
   return out;
 }
 
-const Sign* Whiteboard::find_tag(std::uint32_t tag) const {
-  for (const Sign& s : signs_) {
-    if (s.tag == tag) return &s;
-  }
-  return nullptr;
-}
-
-const Sign* Whiteboard::find(std::uint32_t tag, const Color& color) const {
-  for (const Sign& s : signs_) {
-    if (s.tag == tag && s.color == color) return &s;
-  }
-  return nullptr;
-}
-
-std::size_t Whiteboard::count_tag(std::uint32_t tag) const {
+std::size_t Whiteboard::distinct_colors_with_tag(std::uint32_t tag) const {
+  // Quadratic over the signs with this tag, but allocation-free: boards
+  // hold a handful of signs, and this runs inside wait predicates that
+  // fire on every board mutation.
   std::size_t count = 0;
-  for (const Sign& s : signs_) {
-    if (s.tag == tag) ++count;
+  for (std::size_t i = 0; i < signs_.size(); ++i) {
+    if (signs_[i].tag != tag) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j) {
+      seen = signs_[j].tag == tag && signs_[j].color == signs_[i].color;
+    }
+    if (!seen) ++count;
   }
   return count;
-}
-
-std::size_t Whiteboard::distinct_colors_with_tag(std::uint32_t tag) const {
-  std::vector<Color> seen;
-  for (const Sign& s : signs_) {
-    if (s.tag != tag) continue;
-    if (std::find(seen.begin(), seen.end(), s.color) == seen.end()) {
-      seen.push_back(s.color);
-    }
-  }
-  return seen.size();
 }
 
 }  // namespace qelect::sim

@@ -65,15 +65,6 @@ ActionAwaiter AgentCtx::move(graph::PortId port) {
   return ActionAwaiter{ActionMove{port}};
 }
 
-ActionAwaiter AgentCtx::board(std::function<void(Whiteboard&)> fn) {
-  return ActionAwaiter{ActionBoard{std::move(fn)}};
-}
-
-ActionAwaiter AgentCtx::wait_until(
-    std::function<bool(const Whiteboard&)> pred) {
-  return ActionAwaiter{ActionWait{std::move(pred)}};
-}
-
 ActionAwaiter AgentCtx::yield() { return ActionAwaiter{ActionYield{}}; }
 
 void AgentCtx::declare_leader() { status_ = AgentStatus::Leader; }
@@ -128,16 +119,21 @@ World::World(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
              bool quantitative)
     : graph_(std::move(g)),
       placement_(std::move(p)),
-      quantitative_(quantitative) {
+      quantitative_(quantitative),
+      color_seed_(color_seed) {
   QELECT_CHECK(placement_.node_count() == graph_.node_count(),
                "World: placement does not fit graph");
   QELECT_CHECK(graph_.is_connected(), "World: graph must be connected");
-  ColorUniverse universe(color_seed);
+  mint_labels();
+}
+
+void World::mint_labels() {
+  ColorUniverse universe(color_seed_);
   colors_ = universe.mint_many(placement_.agent_count());
   if (quantitative_) {
     // Distinct comparable labels; randomized so protocols cannot rely on
     // them being 0..r-1.
-    Xoshiro256 rng(color_seed ^ 0x51a7eb71d3c2a9f0ULL);
+    Xoshiro256 rng(color_seed_ ^ 0x51a7eb71d3c2a9f0ULL);
     std::vector<std::int64_t> ids;
     while (ids.size() < placement_.agent_count()) {
       const std::int64_t candidate =
@@ -150,17 +146,45 @@ World::World(graph::Graph g, graph::Placement p, std::uint64_t color_seed,
   }
 }
 
+void World::reset() {
+  // Coroutine frames hold references into contexts; drop them first.
+  scratch_.behaviors.clear();
+  scratch_.contexts.clear();
+  for (Whiteboard& b : boards_) b.clear();
+}
+
+void World::reset(std::uint64_t color_seed) {
+  reset();
+  if (color_seed != color_seed_) {
+    color_seed_ = color_seed;
+    mint_labels();
+  }
+}
+
 const Whiteboard& World::board_at(graph::NodeId node) const {
   QELECT_CHECK(node < boards_.size(), "board_at: node out of range");
   return boards_[node];
 }
 
 RunResult World::run(const Protocol& protocol, const RunConfig& config) {
+  // The untraced path is the campaign hot loop: compiling it separately
+  // removes every sink branch from the per-step code.
+  return config.sink != nullptr ? run_impl<true>(protocol, config)
+                                : run_impl<false>(protocol, config);
+}
+
+template <bool kTraced>
+RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
-  boards_.assign(graph_.node_count(), Whiteboard{});
+  const std::size_t n = graph_.node_count();
+
+  // Per-run state, reusing every buffer from the previous run.
+  scratch_.behaviors.clear();  // frames reference contexts; drop first
+  boards_.resize(n);
+  for (Whiteboard& b : boards_) b.clear();
 
   trace::TraceSink* const sink = config.sink;
-  if (sink) {
+  if constexpr (kTraced) {
     sink->begin_run(
         detail::make_run_metadata(config, graph_, placement_, quantitative_));
   }
@@ -168,7 +192,8 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
   // Mark every home-base with its owner's colored sign (Section 1.2); in
   // quantitative worlds the sign also carries the integer label so any
   // traversing agent can read it.
-  std::vector<AgentCtx> contexts(r);
+  std::vector<AgentCtx>& contexts = scratch_.contexts;
+  contexts.assign(r, AgentCtx{});
   for (std::size_t i = 0; i < r; ++i) {
     const graph::NodeId home = placement_.home_bases()[i];
     AgentCtx& ctx = contexts[i];
@@ -183,7 +208,7 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     boards_[home].post(std::move(mark));
   }
 
-  std::vector<Behavior> behaviors;
+  std::vector<Behavior>& behaviors = scratch_.behaviors;
   behaviors.reserve(r);
   for (std::size_t i = 0; i < r; ++i) {
     behaviors.push_back(protocol(contexts[i]));
@@ -194,22 +219,97 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
   Scheduler scheduler(config, r);
   RunResult result;
 
-  auto agent_enabled = [&](std::size_t i) -> bool {
-    if (behaviors[i].done()) return false;
-    const PendingAction& pending =
-        behaviors[i].handle().promise().pending;
-    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
-      return wait->pred(boards_[contexts[i].position_]);
-    }
-    return true;
+  // The enabled set is maintained incrementally instead of being rebuilt
+  // by evaluating every agent's wait predicate each step: an agent parked
+  // on wait_until sits on its board's waiter list and is re-polled only
+  // when that board mutates.  `enabled` stays sorted ascending, so the
+  // Random / RoundRobin / Replay pick semantics (and hence recorded
+  // schedules) are bit-identical to the scan-based engine as long as
+  // predicates are pure functions of the board.
+  std::vector<std::size_t>& enabled = scratch_.enabled;
+  enabled.clear();
+  std::vector<std::uint8_t>& waiting = scratch_.waiting;
+  waiting.assign(r, 0);
+  std::vector<std::uint8_t>& wait_sat = scratch_.wait_sat;
+  wait_sat.assign(r, 0);
+  std::vector<std::vector<std::uint32_t>>& waiters = scratch_.waiters;
+  waiters.resize(n);
+  for (std::vector<std::uint32_t>& w : waiters) w.clear();
+
+  std::size_t live = r;
+  for (std::size_t i = 0; i < r; ++i) enabled.push_back(i);
+
+  const auto enabled_insert = [&enabled](std::size_t i) {
+    const auto it = std::lower_bound(enabled.begin(), enabled.end(), i);
+    if (it == enabled.end() || *it != i) enabled.insert(it, i);
+  };
+  const auto enabled_erase = [&enabled](std::size_t i) {
+    const auto it = std::lower_bound(enabled.begin(), enabled.end(), i);
+    if (it != enabled.end() && *it == i) enabled.erase(it);
   };
 
-  auto execute_step = [&](std::size_t i) {
+  // Re-derives agent i's scheduling state after its coroutine advanced.
+  const auto classify = [&](std::size_t i) {
+    if (behaviors[i].done()) {
+      --live;
+      enabled_erase(i);
+      return;
+    }
+    PendingAction& pending = behaviors[i].handle().promise().pending;
+    if (const auto* wait = std::get_if<ActionWait>(&pending)) {
+      const graph::NodeId node = contexts[i].position_;
+      waiting[i] = 1;
+      waiters[node].push_back(static_cast<std::uint32_t>(i));
+      const bool sat = wait->pred(boards_[node]);
+      wait_sat[i] = sat ? 1 : 0;
+      if (sat) {
+        enabled_insert(i);
+      } else {
+        enabled_erase(i);
+      }
+      return;
+    }
+    enabled_insert(i);
+  };
+
+  const auto unpark = [&](std::size_t i) {
+    std::vector<std::uint32_t>& list = waiters[contexts[i].position_];
+    for (std::uint32_t& slot : list) {
+      if (slot == i) {
+        slot = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+    waiting[i] = 0;
+  };
+
+  // Board `node` changed: re-poll exactly the agents parked on it.
+  const auto notify_board = [&](graph::NodeId node) {
+    for (const std::uint32_t j : waiters[node]) {
+      const auto* wait =
+          std::get_if<ActionWait>(&behaviors[j].handle().promise().pending);
+      QELECT_ASSERT(wait != nullptr);
+      const bool sat = wait->pred(boards_[node]);
+      if (sat != (wait_sat[j] != 0)) {
+        wait_sat[j] = sat ? 1 : 0;
+        if (sat) {
+          enabled_insert(j);
+        } else {
+          enabled_erase(j);
+        }
+      }
+    }
+  };
+
+  const auto execute_step = [&](std::size_t i) {
     AgentCtx& ctx = contexts[i];
     Behavior::Handle handle = behaviors[i].handle();
     PendingAction& pending = handle.promise().pending;
     TraceEvent::Kind kind = TraceEvent::Kind::Start;
     graph::PortId port = trace::kNoPort;
+    bool board_mutated = false;
+    graph::NodeId mutated_node = 0;
     if (auto* mv = std::get_if<ActionMove>(&pending)) {
       QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
                    "agent moved through a nonexistent port");
@@ -220,10 +320,13 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
       ++ctx.moves_;
       kind = TraceEvent::Kind::Move;
     } else if (auto* bd = std::get_if<ActionBoard>(&pending)) {
-      bd->fn(boards_[ctx.position_]);
+      mutated_node = ctx.position_;
+      bd->fn(boards_[mutated_node]);
+      board_mutated = true;
       ++ctx.board_accesses_;
       kind = TraceEvent::Kind::Board;
     } else if (std::holds_alternative<ActionWait>(pending)) {
+      unpark(i);
       kind = TraceEvent::Kind::WaitResume;
     } else if (std::holds_alternative<ActionYield>(pending)) {
       kind = TraceEvent::Kind::Yield;
@@ -234,23 +337,20 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     if (handle.done() && handle.promise().exception) {
       std::rethrow_exception(handle.promise().exception);
     }
-    if (sink) {
+    if constexpr (kTraced) {
       sink->on_event(TraceEvent{result.steps, static_cast<std::uint32_t>(i),
                                 kind, ctx.position_, port});
     }
     ++result.steps;
+    classify(i);
+    // Coroutines only *request* actions; a resume can never touch a board
+    // directly, so notifying after classify re-polls against the same
+    // board state the old per-step scan would have seen.
+    if (board_mutated) notify_board(mutated_node);
   };
 
-  std::vector<std::size_t> enabled;
-  enabled.reserve(r);
   while (result.steps < config.max_steps) {
-    enabled.clear();
-    bool any_live = false;
-    for (std::size_t i = 0; i < r; ++i) {
-      if (!behaviors[i].done()) any_live = true;
-      if (agent_enabled(i)) enabled.push_back(i);
-    }
-    if (!any_live) {
+    if (live == 0) {
       result.completed = true;
       break;
     }
@@ -261,7 +361,9 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     if (config.policy == SchedulerPolicy::Lockstep) {
       // One synchronous round: every enabled agent performs one step, in
       // home-base order (the paper's Section 1.3 adversary).
-      for (std::size_t i : enabled) {
+      std::vector<std::size_t>& round = scratch_.round;
+      round = enabled;
+      for (const std::size_t i : round) {
         if (result.steps >= config.max_steps) break;
         execute_step(i);
       }
@@ -289,7 +391,7 @@ RunResult World::run(const Protocol& protocol, const RunConfig& config) {
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
   }
-  if (sink) sink->end_run(detail::make_run_summary(result));
+  if constexpr (kTraced) sink->end_run(detail::make_run_summary(result));
   return result;
 }
 

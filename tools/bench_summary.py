@@ -137,11 +137,28 @@ def main():
 
     total_cases = sum(len(b["cases"]) for b in benches)
     speedups = {}
+    baseline_speedups = {}
     for b in benches:
         for c in b["cases"]:
-            s = c.get("counters", {}).get("speedup_vs_seed")
+            counters = c.get("counters", {})
+            s = counters.get("speedup_vs_seed")
             if s is not None:
                 speedups[f"{b['bench']}/{c['name']}"] = s
+            # Simulator-throughput cases (BENCH_sim.json) carry the
+            # committed moves/sec baseline; surface the ratio and warn
+            # softly on a >15% regression.  Soft because shared-runner
+            # wall times flake; the committed baseline is from a quiet
+            # Release box (see docs/PERFORMANCE.md).
+            base = counters.get("baseline_moves_per_second")
+            mps = counters.get("moves_per_second")
+            if base and mps:
+                name = f"{b['bench']}/{c['name']}"
+                baseline_speedups[name] = mps / base
+                if not b["smoke"] and mps < 0.85 * base:
+                    warnings.append(
+                        f"{name}: {mps / 1e6:.2f}M moves/s is "
+                        f"{mps / base:.2f}x the committed baseline "
+                        f"({base / 1e6:.2f}M) -- >15% regression")
 
     summary = {
         "config_hashes": hashes,
@@ -149,6 +166,7 @@ def main():
         "cases": total_cases,
         "warnings": warnings,
         "speedups_vs_seed": speedups,
+        "speedups_vs_baseline": baseline_speedups,
         "campaigns": campaigns,
         "campaign_tasks": {
             "tasks": sum(c["tasks"] for c in campaigns),
@@ -174,6 +192,10 @@ def main():
     if speedups:
         print("  speedup_vs_seed:")
         for k, v in sorted(speedups.items()):
+            print(f"    {k:48s} {v:7.2f}x")
+    if baseline_speedups:
+        print("  speedup_vs_baseline (committed moves/sec baseline):")
+        for k, v in sorted(baseline_speedups.items()):
             print(f"    {k:48s} {v:7.2f}x")
     return 0
 
