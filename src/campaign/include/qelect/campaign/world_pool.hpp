@@ -52,6 +52,17 @@ class WorldPool {
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
 
+  /// Snapshot of the pool's counters, in the shape the qelectd STATS
+  /// opcode exports (one per worker shard, aggregated by the server).
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
   /// The calling worker thread's pool.  Campaign workloads go through
   /// this, so shards reuse arenas without any cross-thread traffic.
   static WorldPool& local();
@@ -71,6 +82,7 @@ class WorldPool {
   std::uint64_t clock_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
   std::vector<Entry> entries_;
 };
 

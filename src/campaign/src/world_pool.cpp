@@ -43,6 +43,7 @@ sim::World& WorldPool::acquire_impl(const std::string& key,
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
     entries_.erase(lru);
+    ++evictions_;
   }
   entries_.push_back(Entry{key, build(), clock_});
   return *entries_.back().world;
@@ -72,6 +73,16 @@ sim::World& WorldPool::acquire(const std::string& key, const graph::Graph& g,
         quantitative ? sim::World::quantitative(g, std::move(p), color_seed)
                      : sim::World(g, std::move(p), color_seed));
   });
+}
+
+WorldPool::Stats WorldPool::stats() const {
+  Stats s;
+  s.entries = entries_.size();
+  s.capacity = capacity_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
 }
 
 WorldPool& WorldPool::local() {

@@ -75,6 +75,11 @@ class CertificateCache {
   /// Drops every entry and resets the statistics.
   void clear();
 
+  /// Rebounds the cache (qelectd's --cert-cache flag resizes the global
+  /// instance at startup).  Shrinking evicts least-recently-used entries
+  /// down to the new bound; 0 is clamped to 1.
+  void set_capacity(std::size_t capacity);
+
   /// The process-wide cache the ELECT call sites opt into.
   static CertificateCache& global();
 

@@ -103,6 +103,18 @@ void CertificateCache::clear() {
   stats_.capacity = capacity_;
 }
 
+void CertificateCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  stats_.capacity = capacity_;
+  while (map_.size() > capacity_) {
+    const StructuralKey* victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(*victim);
+    ++stats_.evictions;
+  }
+}
+
 CertificateCache& CertificateCache::global() {
   static CertificateCache cache;
   return cache;

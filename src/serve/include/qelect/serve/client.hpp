@@ -1,0 +1,54 @@
+// Blocking qelectd client: one TCP connection, synchronous request/response.
+//
+// This is the protocol's reference consumer: `qelect query` wraps it for
+// the CLI, the bench load generator drives many of them concurrently, and
+// the end-to-end tests talk to an in-process Server through it.  It is
+// deliberately minimal -- blocking socket, one outstanding request -- so
+// that any behavior it observes is the protocol's, not a client runtime's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qelect/serve/protocol.hpp"
+
+namespace qelect::serve {
+
+class Client {
+ public:
+  /// Connects (blocking) and enables TCP_NODELAY.  Throws
+  /// qelect::CheckError on refusal.
+  static Client connect(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one frame and blocks for its response payload.  Throws
+  /// qelect::CheckError on transport or framing failure.  The response
+  /// status inside the payload is NOT interpreted here -- callers (or the
+  /// typed helpers below) decode it.
+  std::vector<std::uint8_t> request(Opcode op,
+                                    const std::vector<std::uint8_t>& payload);
+
+  // Typed round trips (encode request, decode response; throw on a payload
+  // that does not parse).
+  bool ping();
+  ElectableResponse electable(const InstanceRef& inst);
+  SigmaResponse sigma(const SigmaRequest& req);
+  ViewClassesResponse view_classes(const InstanceRef& inst);
+  RunElectResponse run_elect(const RunElectRequest& req);
+  StatsResponse stats();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> buf_;  // partial response bytes
+};
+
+}  // namespace qelect::serve

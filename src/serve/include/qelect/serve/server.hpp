@@ -1,0 +1,110 @@
+// qelectd's network engine: epoll event loop, acceptor, worker shards.
+//
+// Threading model (thread-per-core, shared-nothing on the hot path):
+//
+//   * one acceptor thread owns the listen socket; accepted connections are
+//     handed to workers round-robin through a small locked queue plus an
+//     eventfd wakeup -- the lock is touched once per connection, never per
+//     request;
+//   * each worker thread owns an epoll instance and the full lifecycle of
+//     its connections: read, frame decode, Service::handle, write.  A
+//     connection never migrates, so per-connection buffers need no locks;
+//   * each worker owns a ResponseCache (memoized encoded responses) and its
+//     thread-local campaign::WorldPool; the only cross-thread state on a
+//     query's path is the mutex-guarded iso::CertificateCache::global().
+//
+// Workers publish their cache/pool counters to relaxed atomics after each
+// request, and the worker that handles a STATS request folds every shard's
+// published counters into the response -- metering without a stats lock.
+//
+// Protocol-level failures (bad magic, bad checksum, payload over the
+// limit) poison the stream's framing, so the connection is closed --
+// after, where a valid header allows it, an error response.  Semantic
+// failures (unknown opcode, bad instance) are ordinary error responses on
+// a healthy connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qelect/serve/service.hpp"
+
+namespace qelect::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (see Server::port()).
+  std::uint16_t port = 0;
+  /// Worker shards; 0 = hardware_concurrency (capped at 16).
+  std::size_t workers = 0;
+  /// Per-worker ResponseCache capacity (entries).
+  std::size_t response_cache_capacity = 4096;
+  /// Shared iso::CertificateCache capacity; 0 keeps the build default.
+  std::size_t cert_cache_capacity = 0;
+  /// Largest accepted request payload.
+  std::size_t max_payload = kMaxPayload;
+  ServiceLimits limits;
+};
+
+/// A running qelectd instance.  start() binds and spawns threads; stop()
+/// (or destruction) shuts down, closing every connection.  Usable both by
+/// the daemon binary and in-process (tests, the bench load generator).
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the acceptor + workers.  Throws
+  /// qelect::CheckError on bind/listen failure.
+  void start();
+  /// Idempotent; joins all threads and closes all sockets.
+  void stop();
+
+  /// The bound TCP port (resolves option port 0 to the real one).
+  std::uint16_t port() const { return port_; }
+  std::size_t worker_count() const { return workers_.size(); }
+
+  Service& service() { return service_; }
+
+  /// Totals since start(), for tests and logs.
+  std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void acceptor_loop();
+  void worker_loop(Worker& w);
+  void handle_readable(Worker& w, Connection& c);
+  bool flush_writes(Worker& w, Connection& c);
+  void close_connection(Worker& w, Connection& c);
+  void publish_worker_stats(Worker& w);
+  std::vector<std::pair<std::string, std::uint64_t>> aggregate_stats() const;
+
+  ServerOptions options_;
+  Service service_;
+
+  int listen_fd_ = -1;
+  int accept_wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::size_t> next_worker_{0};
+};
+
+}  // namespace qelect::serve

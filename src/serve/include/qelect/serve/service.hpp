@@ -1,0 +1,148 @@
+// Request execution behind the qelectd wire protocol.
+//
+// Service is the network-free half of the server: a decoded (opcode,
+// payload) pair in, a response payload out.  It owns no sockets and no
+// threads, which is what makes the whole opcode surface unit-testable
+// (tests/test_serve.cpp) and reusable by an in-process bench harness.
+//
+// Execution reuses the layers the repo already trusts instead of
+// reimplementing them:
+//
+//   * ELECTABLE and RUN_ELECT are literally campaign workloads: the
+//     request becomes a campaign::TaskSpec and runs through
+//     campaign::run_task, so a RUN_ELECT answer is bit-for-bit the metrics
+//     an equivalent campaign task commits to its store (the golden
+//     cross-check in tests/test_serve.cpp pins this).  RUN_ELECT therefore
+//     also inherits the per-worker campaign::WorldPool arena reuse.
+//   * SIGMA and VIEW_CLASSES call views:: directly; SIGMA's exhaustive
+//     labeling enumeration is bounded by ServiceLimits::sigma_budget and
+//     refused with kStatusTooLarge beyond it (a server must not let one
+//     query monopolize a core for minutes).
+//   * every canonicalization inside those paths flows through the shared
+//     bounded iso::CertificateCache::global(), whose hit/miss/eviction
+//     counters the STATS opcode exports.
+//
+// Queries are pure functions of their payload (RUN_ELECT is deterministic
+// in its seed -- the same determinism the campaign resume protocol relies
+// on), so responses are memoizable: the server gives each worker thread a
+// ResponseCache and handle() serves repeats straight from it.  The cache
+// is deliberately lock-free-by-ownership (one per worker, like WorldPool)
+// rather than shared-and-locked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qelect/serve/protocol.hpp"
+
+namespace qelect::serve {
+
+/// Compute bounds a deployment can tune (qelectd flags).  They bound the
+/// *cost* of one query; the wire layer's max_payload bounds its *size*.
+struct ServiceLimits {
+  /// Largest instance (node count) any opcode will build.
+  std::size_t max_nodes = 4096;
+  /// Largest single family parameter (pre-build guard: a hostile
+  /// hypercube(40) must be rejected before 2^40 nodes are allocated).
+  std::uint64_t max_param = 1 << 14;
+  /// SIGMA refuses instances whose locally-distinct labeling count
+  /// exceeds this (the enumeration is exponential).
+  double sigma_budget = 1e6;
+  /// ELECTABLE runs the full impossibility classification (Cayley
+  /// recognition, labeling search) only up to this many nodes; beyond it a
+  /// non-elect verdict is reported as "open" rather than burning a core.
+  std::size_t max_deep_nodes = 64;
+};
+
+/// Bounded LRU of encoded responses keyed by (opcode, request payload).
+/// One per worker thread; not thread-safe by design.
+class ResponseCache {
+ public:
+  explicit ResponseCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// The cached response, or nullptr.  Hits refresh LRU position.
+  const std::vector<std::uint8_t>* lookup(const std::string& key);
+  void insert(const std::string& key, std::vector<std::uint8_t> response);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  /// The memo key: opcode bytes + raw request payload (requests are
+  /// canonical encodings, so byte equality is request equality).
+  static std::string key(std::uint16_t opcode,
+                         const std::vector<std::uint8_t>& payload);
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> response;
+    std::list<std::string>::iterator lru;
+  };
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+class Service {
+ public:
+  explicit Service(ServiceLimits limits = {});
+
+  /// Executes one request and returns the response payload (always
+  /// well-formed, starting with a u32 Status; execution failures become
+  /// kStatusError responses, never exceptions).  `cache`, when given,
+  /// memoizes successful responses per worker; `extra` counters, when
+  /// given, are appended to STATS responses (the server injects its
+  /// cross-worker aggregates there).  Thread-safe: per-opcode counters are
+  /// atomics and all shared state below this call is lock-protected
+  /// (CertificateCache) or thread-local (WorldPool).
+  std::vector<std::uint8_t> handle(
+      std::uint16_t opcode, const std::vector<std::uint8_t>& payload,
+      ResponseCache* cache = nullptr,
+      const std::vector<std::pair<std::string, std::uint64_t>>* extra =
+          nullptr);
+
+  const ServiceLimits& limits() const { return limits_; }
+
+  /// Requests seen per opcode (index = raw opcode) plus error responses
+  /// issued, for STATS and tests.
+  struct Counters {
+    std::vector<std::uint64_t> requests;  // by raw opcode value
+    std::uint64_t errors = 0;
+  };
+  Counters counters() const;
+
+ private:
+  std::vector<std::uint8_t> execute(Opcode op,
+                                    const std::vector<std::uint8_t>& payload);
+  std::vector<std::uint8_t> run_electable(const InstanceRef& inst);
+  std::vector<std::uint8_t> run_sigma(const SigmaRequest& req);
+  std::vector<std::uint8_t> run_view_classes(const InstanceRef& inst);
+  std::vector<std::uint8_t> run_run_elect(const RunElectRequest& req);
+  std::vector<std::uint8_t> run_stats(
+      const ResponseCache* cache,
+      const std::vector<std::pair<std::string, std::uint64_t>>* extra);
+
+  ServiceLimits limits_;
+  static constexpr std::size_t kOpcodeSlots = 8;
+  std::atomic<std::uint64_t> requests_[kOpcodeSlots];
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace qelect::serve

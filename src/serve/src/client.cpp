@@ -1,0 +1,147 @@
+#include "qelect/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "qelect/util/assert.hpp"
+
+namespace qelect::serve {
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  QELECT_CHECK(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    QELECT_CHECK(false, "invalid address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    QELECT_CHECK(false, "connect(" + host + ":" + std::to_string(port) +
+                            ") failed: " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::vector<std::uint8_t> Client::request(
+    Opcode op, const std::vector<std::uint8_t>& payload) {
+  QELECT_CHECK(fd_ >= 0, "client is not connected");
+  const std::uint64_t id = next_id_++;
+  const auto frame = encode_frame(op, id, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    QELECT_CHECK(n > 0, "send failed: connection lost");
+    sent += static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    FrameHeader header;
+    std::vector<std::uint8_t> body;
+    std::size_t consumed = 0;
+    const DecodeStatus st =
+        decode_frame(buf_.data(), buf_.size(), &header, &body, &consumed);
+    if (st == DecodeStatus::kOk) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      QELECT_CHECK(header.request_id == id,
+                   "response id " + std::to_string(header.request_id) +
+                       " does not match request id " + std::to_string(id));
+      QELECT_CHECK(header.opcode == static_cast<std::uint16_t>(op),
+                   "response opcode does not echo the request");
+      return body;
+    }
+    QELECT_CHECK(st == DecodeStatus::kNeedMore,
+                 std::string("protocol error from server: ") +
+                     decode_status_name(st));
+    std::uint8_t chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    QELECT_CHECK(n > 0, "server closed the connection mid-response");
+    buf_.insert(buf_.end(), chunk, chunk + n);
+  }
+}
+
+bool Client::ping() {
+  const auto body = request(Opcode::kPing, {});
+  WireReader r(body);
+  return r.u32() == kStatusOk && r.done();
+}
+
+ElectableResponse Client::electable(const InstanceRef& inst) {
+  ElectableResponse resp;
+  QELECT_CHECK(decode_electable_response(
+                   request(Opcode::kElectable, encode_electable_request(inst)),
+                   &resp),
+               "malformed ELECTABLE response");
+  return resp;
+}
+
+SigmaResponse Client::sigma(const SigmaRequest& req) {
+  SigmaResponse resp;
+  QELECT_CHECK(decode_sigma_response(
+                   request(Opcode::kSigma, encode_sigma_request(req)), &resp),
+               "malformed SIGMA response");
+  return resp;
+}
+
+ViewClassesResponse Client::view_classes(const InstanceRef& inst) {
+  ViewClassesResponse resp;
+  QELECT_CHECK(
+      decode_view_classes_response(
+          request(Opcode::kViewClasses, encode_view_classes_request(inst)),
+          &resp),
+      "malformed VIEW_CLASSES response");
+  return resp;
+}
+
+RunElectResponse Client::run_elect(const RunElectRequest& req) {
+  RunElectResponse resp;
+  QELECT_CHECK(decode_run_elect_response(
+                   request(Opcode::kRunElect, encode_run_elect_request(req)),
+                   &resp),
+               "malformed RUN_ELECT response");
+  return resp;
+}
+
+StatsResponse Client::stats() {
+  StatsResponse resp;
+  QELECT_CHECK(decode_stats_response(request(Opcode::kStats, {}), &resp),
+               "malformed STATS response");
+  return resp;
+}
+
+}  // namespace qelect::serve

@@ -1,0 +1,429 @@
+#include "qelect/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "qelect/campaign/world_pool.hpp"
+#include "qelect/iso/cert_cache.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::serve {
+
+namespace {
+
+/// Past this much un-acked response data the worker stops reading from the
+/// connection (backpressure) instead of buffering without bound.
+constexpr std::size_t kMaxOutBacklog = 8 << 20;
+
+void wake(int event_fd) {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+}
+
+void drain(int event_fd) {
+  std::uint64_t value = 0;
+  [[maybe_unused]] ssize_t n = ::read(event_fd, &value, sizeof(value));
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+  bool want_write = false;  // EPOLLOUT armed
+  bool paused = false;      // EPOLLIN disarmed (output backpressure)
+  bool closing = false;     // close once `out` drains
+};
+
+struct Server::Worker {
+  explicit Worker(std::size_t index, std::size_t cache_capacity)
+      : index(index), cache(cache_capacity) {}
+
+  std::size_t index;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  ResponseCache cache;
+
+  std::mutex mu;
+  std::vector<int> pending;  // fds handed over by the acceptor
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+
+  // Published (relaxed) after every request so any shard can aggregate.
+  std::atomic<std::uint64_t> resp_hits{0}, resp_misses{0}, resp_evictions{0},
+      resp_entries{0};
+  std::atomic<std::uint64_t> pool_hits{0}, pool_misses{0}, pool_evictions{0},
+      pool_entries{0};
+  std::atomic<std::uint64_t> requests{0};
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.limits) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  QELECT_CHECK(!started_, "server already started");
+
+  if (options_.cert_cache_capacity > 0) {
+    iso::CertificateCache::global().set_capacity(
+        options_.cert_cache_capacity);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  QELECT_CHECK(listen_fd_ >= 0, "socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  QELECT_CHECK(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+               "invalid listen address '" + options_.host + "'");
+  QELECT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(" + options_.host + ":" + std::to_string(options_.port) +
+                   ") failed: " + std::strerror(errno));
+  QELECT_CHECK(::listen(listen_fd_, 512) == 0,
+               std::string("listen() failed: ") + std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  QELECT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                             &len) == 0,
+               "getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+
+  accept_wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  QELECT_CHECK(accept_wake_fd_ >= 0, "eventfd() failed");
+
+  std::size_t n_workers = options_.workers;
+  if (n_workers == 0) {
+    n_workers = std::max<std::size_t>(1u, std::thread::hardware_concurrency());
+    n_workers = std::min<std::size_t>(n_workers, 16);
+  }
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    auto w = std::make_unique<Worker>(i, options_.response_cache_capacity);
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    QELECT_CHECK(w->epoll_fd >= 0, "epoll_create1() failed");
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    QELECT_CHECK(w->wake_fd >= 0, "eventfd() failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    QELECT_CHECK(::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev) == 0,
+                 "epoll_ctl(wake) failed");
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = true;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  wake(accept_wake_fd_);
+  for (auto& w : workers_) wake(w->wake_fd);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    if (w->wake_fd >= 0) ::close(w->wake_fd);
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (accept_wake_fd_ >= 0) ::close(accept_wake_fd_);
+  listen_fd_ = accept_wake_fd_ = -1;
+  started_ = false;
+}
+
+// ---- acceptor ------------------------------------------------------------
+
+void Server::acceptor_loop() {
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = accept_wake_fd_;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, accept_wake_fd_, &ev);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    epoll_event events[8];
+    const int n = ::epoll_wait(epoll_fd, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == accept_wake_fd_) {
+        drain(accept_wake_fd_);
+        continue;
+      }
+      while (true) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN, or a transient accept failure
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        active_.fetch_add(1, std::memory_order_relaxed);
+        Worker& w = *workers_[next_worker_.fetch_add(
+                                 1, std::memory_order_relaxed) %
+                             workers_.size()];
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          w.pending.push_back(fd);
+        }
+        wake(w.wake_fd);
+      }
+    }
+  }
+  ::close(epoll_fd);
+}
+
+// ---- worker --------------------------------------------------------------
+
+void Server::worker_loop(Worker& w) {
+  bool running = true;
+  while (running) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(w.epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == w.wake_fd) {
+        drain(w.wake_fd);
+        if (stopping_.load(std::memory_order_acquire)) {
+          running = false;
+          continue;
+        }
+        std::vector<int> fresh;
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          fresh.swap(w.pending);
+        }
+        for (int conn_fd : fresh) {
+          auto conn = std::make_unique<Connection>();
+          conn->fd = conn_fd;
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = conn_fd;
+          if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, conn_fd, &ev) != 0) {
+            ::close(conn_fd);
+            active_.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+          }
+          w.conns.emplace(conn_fd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;  // closed earlier in this batch
+      Connection& c = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(w, c);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!flush_writes(w, c)) continue;  // connection closed
+      }
+      if ((events[i].events & EPOLLIN) != 0) handle_readable(w, c);
+    }
+  }
+  // Leftover pending fds (accepted but never registered) and live
+  // connections are closed here, on the owning thread.
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    for (int fd : w.pending) {
+      ::close(fd);
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    w.pending.clear();
+  }
+  for (auto& [fd, conn] : w.conns) {
+    ::close(fd);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  w.conns.clear();
+}
+
+void Server::handle_readable(Worker& w, Connection& c) {
+  bool eof = false;
+  while (!c.paused) {
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.in.insert(c.in.end(), buf, buf + n);
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(w, c);
+    return;
+  }
+
+  std::size_t offset = 0;
+  while (!c.closing && offset < c.in.size()) {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    std::size_t consumed = 0;
+    const DecodeStatus st =
+        decode_frame(c.in.data() + offset, c.in.size() - offset, &header,
+                     &payload, &consumed, options_.max_payload);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kOk) {
+      offset += consumed;
+      std::vector<std::uint8_t> response;
+      if (header.opcode == static_cast<std::uint16_t>(Opcode::kStats)) {
+        const auto extra = aggregate_stats();
+        response = service_.handle(header.opcode, payload, nullptr, &extra);
+      } else {
+        response = service_.handle(header.opcode, payload, &w.cache);
+      }
+      const auto frame = encode_frame(static_cast<Opcode>(header.opcode),
+                                      header.request_id, response);
+      c.out.insert(c.out.end(), frame.begin(), frame.end());
+      w.requests.fetch_add(1, std::memory_order_relaxed);
+      publish_worker_stats(w);
+      continue;
+    }
+    // Framing is lost: answer what the header allows, then hang up.
+    if (st == DecodeStatus::kOversized) {
+      const auto frame = encode_frame(
+          static_cast<Opcode>(header.opcode), header.request_id,
+          encode_error_response(
+              kStatusTooLarge,
+              "payload of " + std::to_string(header.payload_size) +
+                  " bytes exceeds the limit of " +
+                  std::to_string(options_.max_payload)));
+      c.out.insert(c.out.end(), frame.begin(), frame.end());
+    }
+    c.closing = true;
+  }
+  if (offset > 0) {
+    c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+
+  if (!flush_writes(w, c)) return;  // connection closed
+  if (eof && c.out.size() == c.out_pos) {
+    close_connection(w, c);
+    return;
+  }
+  if (eof) c.closing = true;  // flush the tail, then close
+}
+
+/// Writes as much of `c.out` as the socket accepts.  Returns false when the
+/// connection was closed (fatal write error, or drained while `closing`).
+bool Server::flush_writes(Worker& w, Connection& c) {
+  while (c.out_pos < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(w, c);
+    return false;
+  }
+  if (c.out_pos == c.out.size()) {
+    c.out.clear();
+    c.out_pos = 0;
+    if (c.closing) {
+      close_connection(w, c);
+      return false;
+    }
+  }
+
+  const bool want_write = c.out_pos < c.out.size();
+  const bool paused = c.out.size() - c.out_pos > kMaxOutBacklog;
+  if (want_write != c.want_write || paused != c.paused) {
+    c.want_write = want_write;
+    c.paused = paused;
+    epoll_event ev{};
+    ev.events = (paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                (want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+  return true;
+}
+
+void Server::close_connection(Worker& w, Connection& c) {
+  const int fd = c.fd;
+  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  w.conns.erase(fd);  // destroys c
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::publish_worker_stats(Worker& w) {
+  const auto rc = w.cache.stats();
+  w.resp_hits.store(rc.hits, std::memory_order_relaxed);
+  w.resp_misses.store(rc.misses, std::memory_order_relaxed);
+  w.resp_evictions.store(rc.evictions, std::memory_order_relaxed);
+  w.resp_entries.store(rc.entries, std::memory_order_relaxed);
+  const auto pool = campaign::WorldPool::local().stats();
+  w.pool_hits.store(pool.hits, std::memory_order_relaxed);
+  w.pool_misses.store(pool.misses, std::memory_order_relaxed);
+  w.pool_evictions.store(pool.evictions, std::memory_order_relaxed);
+  w.pool_entries.store(pool.entries, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Server::aggregate_stats()
+    const {
+  std::uint64_t rc_hits = 0, rc_misses = 0, rc_evictions = 0, rc_entries = 0;
+  std::uint64_t wp_hits = 0, wp_misses = 0, wp_evictions = 0, wp_entries = 0;
+  for (const auto& w : workers_) {
+    rc_hits += w->resp_hits.load(std::memory_order_relaxed);
+    rc_misses += w->resp_misses.load(std::memory_order_relaxed);
+    rc_evictions += w->resp_evictions.load(std::memory_order_relaxed);
+    rc_entries += w->resp_entries.load(std::memory_order_relaxed);
+    wp_hits += w->pool_hits.load(std::memory_order_relaxed);
+    wp_misses += w->pool_misses.load(std::memory_order_relaxed);
+    wp_evictions += w->pool_evictions.load(std::memory_order_relaxed);
+    wp_entries += w->pool_entries.load(std::memory_order_relaxed);
+  }
+  return {
+      {"workers", workers_.size()},
+      {"connections_accepted", accepted_.load(std::memory_order_relaxed)},
+      {"connections_active", active_.load(std::memory_order_relaxed)},
+      {"response_cache_hits", rc_hits},
+      {"response_cache_misses", rc_misses},
+      {"response_cache_evictions", rc_evictions},
+      {"response_cache_entries", rc_entries},
+      {"world_pool_hits", wp_hits},
+      {"world_pool_misses", wp_misses},
+      {"world_pool_evictions", wp_evictions},
+      {"world_pool_entries", wp_entries},
+  };
+}
+
+}  // namespace qelect::serve

@@ -73,6 +73,62 @@ TEST(CertCache, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.lookup(structural_key(c)), nullptr);
 }
 
+TEST(CertCache, FillPastBoundEvictsInExactLruOrder) {
+  // The server shares one bounded cache across every worker, so the
+  // eviction discipline is load-bearing: fill well past the bound and
+  // check that exactly the oldest-touched entries fall out, in order, and
+  // that the counters add up.
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kTotal = 10;  // rings 3..12
+  CertificateCache cache(kCapacity);
+  std::vector<ColoredDigraph> graphs;
+  for (std::size_t ring = 3; ring < 3 + kTotal; ++ring) {
+    graphs.push_back(instance(ring, 0));
+    cache.certificate(graphs.back());
+    const auto s = cache.stats();
+    EXPECT_EQ(s.entries, std::min(graphs.size(), kCapacity));
+    EXPECT_EQ(s.evictions,
+              graphs.size() > kCapacity ? graphs.size() - kCapacity : 0u);
+  }
+  // Insertion order is touch order here, so exactly the last kCapacity
+  // graphs survive and everything older was evicted.
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const bool resident = i >= kTotal - kCapacity;
+    EXPECT_EQ(cache.lookup(structural_key(graphs[i])) != nullptr, resident)
+        << "graph " << i;
+  }
+  const auto s = cache.stats();
+  // One miss per distinct fill, then the probe loop: resident probes hit,
+  // evicted probes miss.
+  EXPECT_EQ(s.misses, kTotal + (kTotal - kCapacity));
+  EXPECT_EQ(s.hits, kCapacity);
+  EXPECT_EQ(s.insertions, kTotal);
+  EXPECT_EQ(s.evictions, kTotal - kCapacity);
+  EXPECT_EQ(s.entries, kCapacity);
+}
+
+TEST(CertCache, SetCapacityShrinksByEvictingLru) {
+  CertificateCache cache(8);
+  std::vector<ColoredDigraph> graphs;
+  for (std::size_t ring = 3; ring <= 8; ++ring) {
+    graphs.push_back(instance(ring, 0));
+    cache.certificate(graphs.back());
+  }
+  cache.certificate(graphs[0]);  // refresh the oldest entry
+  cache.set_capacity(2);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.evictions, 4u);
+  // The refreshed first graph and the most recent fill survive.
+  EXPECT_NE(cache.lookup(structural_key(graphs[0])), nullptr);
+  EXPECT_NE(cache.lookup(structural_key(graphs.back())), nullptr);
+  // Growing back is allowed and evicts nothing further.
+  cache.set_capacity(16);
+  EXPECT_EQ(cache.stats().capacity, 16u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
 TEST(CertCache, ClearResetsEntriesAndStats) {
   CertificateCache cache(8);
   cache.certificate(instance(4, 0));

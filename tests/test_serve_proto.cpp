@@ -1,0 +1,302 @@
+// Wire-protocol tests: framing (round-trip, truncation, corruption,
+// oversize), the bounds-checked payload cursor, and the request/response
+// encodings.  Everything here is pure byte manipulation -- no sockets, no
+// service -- so a failure is unambiguously a protocol bug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "qelect/serve/protocol.hpp"
+
+namespace qelect::serve {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(Framing, RoundTripsHeaderAndPayload) {
+  const auto payload = bytes({1, 2, 3, 250, 251, 252});
+  const auto frame = encode_frame(Opcode::kSigma, 0xDEADBEEFCAFEull, payload);
+  ASSERT_EQ(frame.size(), kHeaderSize + payload.size());
+
+  FrameHeader header;
+  std::vector<std::uint8_t> decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(frame.data(), frame.size(), &header, &decoded,
+                         &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(header.version, kVersion);
+  EXPECT_EQ(header.opcode, static_cast<std::uint16_t>(Opcode::kSigma));
+  EXPECT_EQ(header.request_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(header.payload_size, payload.size());
+  EXPECT_EQ(decoded, payload);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  const auto frame = encode_frame(Opcode::kPing, 7, {});
+  ASSERT_EQ(frame.size(), kHeaderSize);
+  FrameHeader header;
+  std::vector<std::uint8_t> decoded;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(frame.data(), frame.size(), &header, &decoded,
+                         &consumed),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Framing, EveryTruncationAsksForMoreBytes) {
+  const auto frame = encode_frame(Opcode::kElectable, 3, bytes({9, 8, 7}));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameHeader header;
+    std::vector<std::uint8_t> decoded;
+    std::size_t consumed = 999;
+    EXPECT_EQ(decode_frame(frame.data(), cut, &header, &decoded, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Framing, TwoPipelinedFramesDecodeInSequence) {
+  auto stream = encode_frame(Opcode::kPing, 1, {});
+  const auto second = encode_frame(Opcode::kStats, 2, bytes({42}));
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(stream.data(), stream.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(header.request_id, 1u);
+  ASSERT_EQ(decode_frame(stream.data() + consumed, stream.size() - consumed,
+                         &header, &payload, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(header.request_id, 2u);
+  EXPECT_EQ(payload, bytes({42}));
+}
+
+TEST(Framing, RejectsBadMagic) {
+  auto frame = encode_frame(Opcode::kPing, 1, {});
+  frame[0] ^= 0xFF;
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kBadMagic);
+}
+
+TEST(Framing, RejectsUnknownVersion) {
+  auto frame = encode_frame(Opcode::kPing, 1, {});
+  frame[4] = 0x7F;  // version lives at offset 4
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kBadVersion);
+}
+
+TEST(Framing, RejectsCorruptedPayload) {
+  auto frame = encode_frame(Opcode::kSigma, 1, bytes({1, 2, 3, 4}));
+  frame[kHeaderSize + 2] ^= 0x01;  // flip one payload bit
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kBadChecksum);
+}
+
+TEST(Framing, RejectsCorruptedChecksumField) {
+  auto frame = encode_frame(Opcode::kSigma, 1, bytes({1, 2, 3, 4}));
+  frame[20] ^= 0x01;  // checksum lives at offset 20
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kBadChecksum);
+}
+
+TEST(Framing, OversizedPayloadDetectedFromHeaderAlone) {
+  // A header declaring a huge payload must be rejected before the payload
+  // arrives: only kHeaderSize bytes are handed to the decoder.
+  const std::vector<std::uint8_t> big(17, 0);
+  auto frame = encode_frame(Opcode::kSigma, 1, big);
+  frame.resize(kHeaderSize);  // payload "still in flight"
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed, /*max_payload=*/16),
+            DecodeStatus::kOversized);
+  // Under the default limit the same prefix just needs more bytes.
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), &header, &payload,
+                         &consumed),
+            DecodeStatus::kNeedMore);
+}
+
+TEST(Framing, ChecksumIsPinned) {
+  // Pin the checksum function to exact values: changing basis, prime, or
+  // byte order silently would break every deployed client.
+  const std::uint8_t a = 'a';
+  EXPECT_EQ(payload_checksum(nullptr, 0), 0x14650fb0739d0383ull);
+  EXPECT_EQ(payload_checksum(&a, 1), 0x44bd8ad473cd9906ull);
+  const auto abc = bytes({'a', 'b', 'c'});
+  EXPECT_EQ(payload_checksum(abc.data(), abc.size()), 0xe16801510db89efdull);
+}
+
+TEST(WireReader, LatchesOnOverrun) {
+  const auto buf = bytes({1, 0, 0, 0});
+  WireReader r(buf);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.u8(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.u64(), 0u);  // still latched
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, RejectsStringLongerThanBuffer) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  const auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, StringRoundTrip) {
+  WireWriter w;
+  w.str("hypercube");
+  w.u64(42);
+  const auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.str(), "hypercube");
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Opcodes, NamesRoundTrip) {
+  for (std::uint16_t code = 1; known_opcode(code); ++code) {
+    const Opcode op = static_cast<Opcode>(code);
+    const auto parsed = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(parsed.has_value()) << opcode_name(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(opcode_from_name("no-such-op").has_value());
+  EXPECT_FALSE(known_opcode(0));
+  EXPECT_FALSE(known_opcode(7));
+}
+
+TEST(Requests, ElectableRoundTrip) {
+  InstanceRef inst;
+  inst.family = "torus";
+  inst.params = {4, 6};
+  inst.home_bases = {0, 5, 11};
+  InstanceRef out;
+  ASSERT_TRUE(decode_electable_request(encode_electable_request(inst), &out));
+  EXPECT_EQ(out.family, inst.family);
+  EXPECT_EQ(out.params, inst.params);
+  EXPECT_EQ(out.home_bases, inst.home_bases);
+}
+
+TEST(Requests, SigmaRoundTrip) {
+  SigmaRequest req;
+  req.instance.family = "ring";
+  req.instance.params = {8};
+  req.alphabet = 3;
+  SigmaRequest out;
+  ASSERT_TRUE(decode_sigma_request(encode_sigma_request(req), &out));
+  EXPECT_EQ(out.instance.family, "ring");
+  EXPECT_EQ(out.instance.params, std::vector<std::uint64_t>{8});
+  EXPECT_TRUE(out.instance.home_bases.empty());
+  EXPECT_EQ(out.alphabet, 3u);
+}
+
+TEST(Requests, RunElectRoundTrip) {
+  RunElectRequest req;
+  req.instance.family = "hypercube";
+  req.instance.params = {3};
+  req.instance.home_bases = {0, 7};
+  req.seed = 0x123456789ull;
+  req.scheduler = "lockstep";
+  RunElectRequest out;
+  ASSERT_TRUE(decode_run_elect_request(encode_run_elect_request(req), &out));
+  EXPECT_EQ(out.instance.family, "hypercube");
+  EXPECT_EQ(out.seed, 0x123456789ull);
+  EXPECT_EQ(out.scheduler, "lockstep");
+}
+
+TEST(Requests, TrailingGarbageIsRejected) {
+  auto payload = encode_electable_request({"ring", {6}, {0}});
+  payload.push_back(0);
+  InstanceRef out;
+  EXPECT_FALSE(decode_electable_request(payload, &out));
+}
+
+TEST(Requests, TruncatedPayloadIsRejected) {
+  const auto payload = encode_run_elect_request(
+      {{"ring", {6}, {0, 3}}, 9, "random"});
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    RunElectRequest out;
+    std::vector<std::uint8_t> prefix(payload.begin(),
+                                     payload.begin() + cut);
+    EXPECT_FALSE(decode_run_elect_request(prefix, &out))
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(Requests, AbsurdCountsAreRejected) {
+  // A forged params count must not drive a giant allocation loop.
+  WireWriter w;
+  w.str("ring");
+  w.u32(0xFFFFFFFF);  // params count
+  InstanceRef out;
+  EXPECT_FALSE(decode_electable_request(w.take(), &out));
+
+  WireWriter w2;
+  w2.str("ring");
+  w2.u32(0);
+  w2.u32(0xFFFFFFFF);  // home-base count
+  EXPECT_FALSE(decode_electable_request(w2.take(), &out));
+}
+
+TEST(Responses, ErrorRoundTripsThroughEveryDecoder) {
+  const auto payload = encode_error_response(kStatusTooLarge, "too big");
+  ElectableResponse e;
+  ASSERT_TRUE(decode_electable_response(payload, &e));
+  EXPECT_EQ(e.head.status, kStatusTooLarge);
+  EXPECT_EQ(e.head.error, "too big");
+  SigmaResponse s;
+  ASSERT_TRUE(decode_sigma_response(payload, &s));
+  EXPECT_EQ(s.head.status, kStatusTooLarge);
+  ViewClassesResponse v;
+  ASSERT_TRUE(decode_view_classes_response(payload, &v));
+  RunElectResponse r;
+  ASSERT_TRUE(decode_run_elect_response(payload, &r));
+  StatsResponse st;
+  ASSERT_TRUE(decode_stats_response(payload, &st));
+  EXPECT_EQ(st.head.error, "too big");
+}
+
+TEST(Responses, StatusNamesAreStable) {
+  EXPECT_STREQ(status_name(kStatusOk), "ok");
+  EXPECT_STREQ(status_name(kStatusBadRequest), "bad-request");
+  EXPECT_STREQ(status_name(kStatusUnknownOpcode), "unknown-opcode");
+  EXPECT_STREQ(status_name(kStatusTooLarge), "too-large");
+  EXPECT_STREQ(status_name(kStatusError), "error");
+  EXPECT_STREQ(status_name(99), "?");
+}
+
+}  // namespace
+}  // namespace qelect::serve

@@ -261,6 +261,36 @@ TEST(WorldPool, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(pool.misses(), misses_before + 1);
 }
 
+TEST(WorldPool, StatsSnapshotTracksHitsMissesEvictions) {
+  // The qelectd STATS opcode exports exactly this snapshot per worker
+  // shard, so its accounting is part of the serving contract.
+  campaign::WorldPool pool(2);
+  auto s = pool.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.hits + s.misses + s.evictions, 0u);
+
+  pool.acquire(elect_task({5}, 1), false);   // miss
+  pool.acquire(elect_task({5}, 2), false);   // hit (seed retarget)
+  pool.acquire(elect_task({6}, 1), false);   // miss, pool full
+  pool.acquire(elect_task({7}, 1), false);   // miss + eviction of ring(5)
+  s = pool.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  // The snapshot agrees with the scalar accessors.
+  EXPECT_EQ(s.hits, pool.hits());
+  EXPECT_EQ(s.misses, pool.misses());
+  EXPECT_EQ(s.entries, pool.size());
+
+  pool.acquire(elect_task({5}, 1), false);  // evicted shape: miss + evict
+  s = pool.stats();
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+}
+
 TEST(WorldPool, LocalPoolIsPerThread) {
   campaign::WorldPool& a = campaign::WorldPool::local();
   campaign::WorldPool& b = campaign::WorldPool::local();

@@ -17,8 +17,11 @@ benches; schema in docs/CAMPAIGNS.md) are folded into a `campaigns`
 section: per-store task/outcome/retry counts, with warnings for failed or
 timed-out tasks and torn tails.
 
-Exit status is 0 even on warnings: CI archives smoke-mode artifacts for
-schema checks, and gating on wall times of shared runners would flake.
+Exit status is 0 even on warnings by default: CI archives smoke-mode
+artifacts for schema checks, and gating on wall times of shared runners
+would flake.  Pass --strict to exit non-zero when a >15% regression
+against a committed baseline is detected (the CI bench-smoke job does;
+smoke-mode timings never count as regressions).
 """
 
 import argparse
@@ -107,6 +110,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".", help="directory with BENCH_*.json")
     ap.add_argument("--out", default="BENCH_summary.json")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when a >15%% regression against a "
+                         "committed baseline is detected")
     args = ap.parse_args()
 
     paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
@@ -138,27 +144,35 @@ def main():
     total_cases = sum(len(b["cases"]) for b in benches)
     speedups = {}
     baseline_speedups = {}
+    regressions = []
+    # Throughput counters paired with their committed baselines: simulator
+    # moves/sec (BENCH_sim.json) and serving QPS (BENCH_serve.json).  The
+    # baselines are from a quiet Release box (see docs/PERFORMANCE.md and
+    # docs/SERVING.md); a >15% dip below one is a regression.  Regressions
+    # are soft warnings by default (shared-runner wall times flake) and
+    # fatal under --strict; smoke-mode timings never count.
+    BASELINE_PAIRS = [
+        ("moves_per_second", "baseline_moves_per_second", "moves/s"),
+        ("qps", "baseline_qps", "QPS"),
+    ]
     for b in benches:
         for c in b["cases"]:
             counters = c.get("counters", {})
             s = counters.get("speedup_vs_seed")
             if s is not None:
                 speedups[f"{b['bench']}/{c['name']}"] = s
-            # Simulator-throughput cases (BENCH_sim.json) carry the
-            # committed moves/sec baseline; surface the ratio and warn
-            # softly on a >15% regression.  Soft because shared-runner
-            # wall times flake; the committed baseline is from a quiet
-            # Release box (see docs/PERFORMANCE.md).
-            base = counters.get("baseline_moves_per_second")
-            mps = counters.get("moves_per_second")
-            if base and mps:
-                name = f"{b['bench']}/{c['name']}"
-                baseline_speedups[name] = mps / base
-                if not b["smoke"] and mps < 0.85 * base:
-                    warnings.append(
-                        f"{name}: {mps / 1e6:.2f}M moves/s is "
-                        f"{mps / base:.2f}x the committed baseline "
-                        f"({base / 1e6:.2f}M) -- >15% regression")
+            for value_key, base_key, unit in BASELINE_PAIRS:
+                base = counters.get(base_key)
+                value = counters.get(value_key)
+                if base and value:
+                    name = f"{b['bench']}/{c['name']}"
+                    baseline_speedups[name] = value / base
+                    if not b["smoke"] and value < 0.85 * base:
+                        regressions.append(
+                            f"{name}: {value:.3g} {unit} is "
+                            f"{value / base:.2f}x the committed baseline "
+                            f"({base:.3g}) -- >15% regression")
+    warnings.extend(regressions)
 
     summary = {
         "config_hashes": hashes,
@@ -194,9 +208,13 @@ def main():
         for k, v in sorted(speedups.items()):
             print(f"    {k:48s} {v:7.2f}x")
     if baseline_speedups:
-        print("  speedup_vs_baseline (committed moves/sec baseline):")
+        print("  speedup_vs_baseline (committed baselines):")
         for k, v in sorted(baseline_speedups.items()):
             print(f"    {k:48s} {v:7.2f}x")
+    if args.strict and regressions:
+        print(f"bench_summary: --strict: {len(regressions)} regression(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

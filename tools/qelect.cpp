@@ -26,6 +26,7 @@
 #include "qelect/campaign/task.hpp"
 #include "qelect/trace/jsonl_sink.hpp"
 #include "qelect/util/assert.hpp"
+#include "serve_common.hpp"
 
 namespace {
 
@@ -44,6 +45,8 @@ int usage() {
       "  report <store.jsonl>              workload-specific report\n"
       "  tasks <spec.json|builtin>         print the task expansion\n"
       "  list                              built-in campaign catalog\n"
+      "  serve [flags]                     run the qelectd query server\n"
+      "  query <opcode> [flags]            one request against a server\n"
       "\n"
       "engine flags (run/resume):\n"
       "  --store PATH            result store (default campaign_<name>/results.jsonl)\n"
@@ -197,6 +200,8 @@ int main(int argc, char** argv) {
     }
     if (command == "tasks") return cmd_tasks(argc, argv);
     if (command == "list") return cmd_list();
+    if (command == "serve") return tools::serve_main(argc, argv, 2);
+    if (command == "query") return tools::query_main(argc, argv, 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "qelect %s: %s\n", command.c_str(), e.what());
     return 1;

@@ -1,0 +1,15 @@
+// qelectd: the standalone election-query daemon (see docs/SERVING.md).
+// Identical behavior to `qelect serve`; this binary exists so deployments
+// do not need to ship the whole campaign CLI.
+#include <cstdio>
+
+#include "serve_common.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return qelect::tools::serve_main(argc, argv, 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qelectd: %s\n", e.what());
+    return 1;
+  }
+}
