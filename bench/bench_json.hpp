@@ -12,6 +12,7 @@
 //     "cases": [
 //       { "name": "canon_ring_32",
 //         "median_seconds": 1.2e-4,
+//         "best_seconds": 1.1e-4,            // min-time sample
 //         "samples_seconds": [...],          // one wall time per sample
 //         "iterations_per_sample": 83,
 //         "counters": {"leaves": 4.0, "speedup_vs_seed": 3.1} }
@@ -113,6 +114,7 @@ class Reporter {
       c.iterations = 1;
       c.samples.push_back(pilot);
       c.median = pilot;
+      c.best = pilot;
     } else {
       c.iterations =
           pilot >= kMinSample
@@ -129,9 +131,44 @@ class Reporter {
       std::vector<double> sorted = c.samples;
       std::sort(sorted.begin(), sorted.end());
       c.median = sorted[sorted.size() / 2];
+      c.best = sorted.front();
     }
     cases_.push_back(std::move(c));
     return cases_.back().median;
+  }
+
+  /// Best (min-time) sample of the most recent case named `case_name`,
+  /// or 0 when no such case was benched.  The best sample filters the
+  /// one-sided noise on shared runners: a run can only ever be slowed
+  /// down, so the minimum is the least-contended measurement.
+  double best_of(const std::string& case_name) const {
+    for (auto it = cases_.rbegin(); it != cases_.rend(); ++it) {
+      if (it->name == case_name) return it->best;
+    }
+    return 0.0;
+  }
+
+  /// Imports a fully formed case (used to carry cases from an existing
+  /// BENCH_<name>.json through a partial re-run, e.g. bench_sim_batch
+  /// merging its cases into the file bench_sim_throughput wrote).
+  void import_case(const std::string& case_name, double median, double best,
+                   std::vector<double> samples, std::size_t iterations,
+                   std::vector<std::pair<std::string, double>> counters) {
+    Case c;
+    c.name = case_name;
+    c.median = median;
+    c.best = best;
+    c.samples = std::move(samples);
+    c.iterations = iterations;
+    c.counters = std::move(counters);
+    cases_.push_back(std::move(c));
+  }
+
+  bool has_case(const std::string& case_name) const {
+    for (const Case& c : cases_) {
+      if (c.name == case_name) return true;
+    }
+    return false;
   }
 
   /// Attaches a counter to the most recently benched case with `name`
@@ -168,6 +205,7 @@ class Reporter {
       std::fprintf(f, "%s\n    { \"name\": \"%s\",", i == 0 ? "" : ",",
                    c.name.c_str());
       std::fprintf(f, "\n      \"median_seconds\": %.9g,", c.median);
+      std::fprintf(f, "\n      \"best_seconds\": %.9g,", c.best);
       std::fprintf(f, "\n      \"samples_seconds\": [");
       for (std::size_t s = 0; s < c.samples.size(); ++s) {
         std::fprintf(f, "%s%.9g", s == 0 ? "" : ", ", c.samples[s]);
@@ -191,6 +229,7 @@ class Reporter {
   struct Case {
     std::string name;
     double median = 0.0;
+    double best = 0.0;
     std::vector<double> samples;
     std::size_t iterations = 0;
     std::vector<std::pair<std::string, double>> counters;

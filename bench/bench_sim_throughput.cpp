@@ -34,18 +34,23 @@ double baseline_for(const std::string& name) {
   return 0.0;
 }
 
-// Attaches the moves/sec counter plus, when a committed baseline exists,
-// the baseline and the measured speedup over it.
+// Attaches the moves/sec counters (median and best-sample -- the best
+// sample filters one-sided scheduler noise, so regression warnings key on
+// it) plus, when a committed baseline exists, the baseline and speedups.
 void moves_counters(benchjson::Reporter& rep, const std::string& name,
                     std::size_t moves_per_run, double seconds_per_run) {
   const double mps =
       static_cast<double>(moves_per_run) / std::max(seconds_per_run, 1e-12);
+  const double best_mps = static_cast<double>(moves_per_run) /
+                          std::max(rep.best_of(name), 1e-12);
   rep.counter(name, "moves", static_cast<double>(moves_per_run));
   rep.counter(name, "moves_per_second", mps);
+  rep.counter(name, "best_moves_per_second", best_mps);
   const double base = baseline_for(name);
   if (base > 0.0) {
     rep.counter(name, "baseline_moves_per_second", base);
     rep.counter(name, "speedup_vs_baseline", mps / base);
+    rep.counter(name, "best_speedup_vs_baseline", best_mps / base);
   }
 }
 

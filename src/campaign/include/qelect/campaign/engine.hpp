@@ -49,6 +49,8 @@ struct EngineOptions {
   /// completion).  The simulated mid-run kill: the store is left a valid
   /// prefix checkpoint, exactly like a crash between appends.
   std::size_t stop_after = 0;
+  /// Override spec.backend when non-empty ("scalar" | "batch").
+  std::string backend;
   /// Live progress sink (see header comment); may be null.
   trace::TraceSink* progress = nullptr;
   /// Print one status line per `echo_every` commits and per failure to

@@ -75,7 +75,12 @@ struct CampaignSpec {
   std::vector<GraphAxis> graphs;
   PlacementAxis placements;
   std::vector<std::uint64_t> color_seeds = {1};
-  std::string scheduler = "random";  // random | round-robin | lockstep
+  std::string scheduler = "random";  // random | round-robin | lockstep | counter
+  /// Execution backend: "scalar" (one coroutine World per task) or "batch"
+  /// (same-instance elect tasks grouped into lockstep BatchWorld slabs;
+  /// per-task records are identical either way).  Serialized only when not
+  /// "scalar", so existing spec hashes are unchanged.
+  std::string backend = "scalar";
   std::size_t max_steps = 0;         // 0 = simulator default
   int retries = 1;                   // re-attempts after a failed attempt
   double timeout_seconds = 0;        // cooperative per-attempt deadline; 0 = off

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "qelect/campaign/task.hpp"
+#include "qelect/sim/world.hpp"
 #include "qelect/util/cancel.hpp"
 
 namespace qelect::campaign {
@@ -34,6 +35,10 @@ inline constexpr double kClassViolation = 4;
 
 /// Stable name for a classification code ("elect", "imposs-cayley", ...).
 const char* classification_name(double code);
+
+/// Scheduler policy for a spec/task scheduler string ("random",
+/// "round-robin", "lockstep", "counter"); throws CheckError otherwise.
+sim::SchedulerPolicy policy_from_name(const std::string& name);
 
 /// Executes one task.  Throws on failure (unknown workload, CheckError
 /// from the libraries, Cancelled on timeout); the engine translates

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "qelect/campaign/batch.hpp"
 #include "qelect/campaign/task.hpp"
 #include "qelect/campaign/workloads.hpp"
 #include "qelect/trace/sink.hpp"
@@ -96,8 +98,33 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const double timeout_seconds = options.timeout_seconds >= 0
                                      ? options.timeout_seconds
                                      : spec.timeout_seconds;
+  CampaignSpec resolved = spec;
+  if (!options.backend.empty()) resolved.backend = options.backend;
+  const bool use_batch = batch_eligible(resolved, timeout_seconds);
+
+  // Units of claiming: scalar backends claim single tasks; the batch
+  // backend claims whole slabs (same-instance task groups).  Slabs are
+  // ordered by first pending slot, so commit order (strictly by slot) is
+  // unchanged and a kill at any commit still leaves a clean task-order
+  // prefix -- resume identity holds at logical-task granularity.
+  std::vector<std::vector<std::size_t>> slabs;  // values: pending slots
+  if (use_batch) {
+    std::map<std::string, std::size_t> slab_of;
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      const std::string key = slab_key(tasks[pending[slot]]);
+      const auto [it, inserted] = slab_of.emplace(key, slabs.size());
+      if (inserted) slabs.emplace_back();
+      slabs[it->second].push_back(slot);
+    }
+  } else {
+    slabs.reserve(pending.size());
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      slabs.push_back({slot});
+    }
+  }
+
   const unsigned shards = resolve_parallel_threads(
-      options.shards, pending.empty() ? 1 : pending.size());
+      options.shards, slabs.empty() ? 1 : slabs.size());
 
   if (options.progress != nullptr) {
     trace::RunMetadata meta;
@@ -167,22 +194,74 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
   };
 
+  // Executes one slab on the batch backend; any task whose replica failed
+  // (and the whole slab if compilation throws) falls back to the scalar
+  // path, so worst case equals the scalar backend plus one failed attempt.
+  auto execute_slab_batch = [&](const std::vector<std::size_t>& slots)
+      -> std::vector<TaskRecord> {
+    std::vector<const TaskSpec*> slab_tasks;
+    slab_tasks.reserve(slots.size());
+    for (const std::size_t slot : slots) {
+      slab_tasks.push_back(&tasks[pending[slot]]);
+    }
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::optional<std::vector<std::pair<std::string, double>>>>
+        metrics;
+    try {
+      metrics = run_elect_slab(slab_tasks);
+    } catch (const std::exception&) {
+      metrics.assign(slots.size(), std::nullopt);
+      batch_stats().scalar_fallbacks.fetch_add(slots.size(),
+                                               std::memory_order_relaxed);
+    }
+    const double share =
+        options.deterministic
+            ? 0
+            : seconds_since(t0) / static_cast<double>(slots.size());
+    std::vector<TaskRecord> records;
+    records.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!metrics[i].has_value()) {
+        records.push_back(execute_task(*slab_tasks[i], spec, retries,
+                                       timeout_seconds,
+                                       options.deterministic));
+        continue;
+      }
+      TaskRecord record;
+      record.key = slab_tasks[i]->key;
+      record.outcome = "ok";
+      record.attempts = 1;
+      record.duration_seconds = share;
+      record.metrics = std::move(*metrics[i]);
+      records.push_back(std::move(record));
+    }
+    return records;
+  };
+
   auto worker = [&](unsigned shard) {
     for (;;) {
       if (stop_token.cancelled()) return;
-      const std::size_t slot =
+      const std::size_t slab =
           next_claim.fetch_add(1, std::memory_order_relaxed);
-      if (slot >= pending.size()) return;
-      TaskRecord record =
-          execute_task(tasks[pending[slot]], spec, retries, timeout_seconds,
-                       options.deterministic);
+      if (slab >= slabs.size()) return;
+      const std::vector<std::size_t>& slots = slabs[slab];
+      std::vector<TaskRecord> records;
+      if (use_batch) {
+        records = execute_slab_batch(slots);
+      } else {
+        records.push_back(execute_task(tasks[pending[slots[0]]], spec,
+                                       retries, timeout_seconds,
+                                       options.deterministic));
+      }
       std::lock_guard<std::mutex> lock(mu);
-      staged.emplace(slot, std::make_pair(shard, std::move(record)));
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        staged.emplace(slots[i], std::make_pair(shard, std::move(records[i])));
+      }
       drain_commits_locked();
     }
   };
 
-  if (shards <= 1 || pending.size() <= 1) {
+  if (shards <= 1 || slabs.size() <= 1) {
     worker(0);
   } else {
     std::vector<std::thread> pool;

@@ -84,8 +84,11 @@ std::string CampaignSpec::to_json() const {
   append_number_array(out, placements.fixed);
   out << "},\"color_seeds\":";
   append_number_array(out, color_seeds);
-  out << ",\"scheduler\":" << json_quote(scheduler)
-      << ",\"max_steps\":" << max_steps << ",\"retries\":" << retries
+  out << ",\"scheduler\":" << json_quote(scheduler);
+  // Emitted only when non-default so pre-backend spec JSON (and its hash,
+  // which gates store resume) is byte-identical.
+  if (backend != "scalar") out << ",\"backend\":" << json_quote(backend);
+  out << ",\"max_steps\":" << max_steps << ",\"retries\":" << retries
       << ",\"timeout_seconds\":" << json_number(timeout_seconds)
       << ",\"labeling_budget\":" << json_number(labeling_budget)
       << ",\"inject\":{\"match\":" << json_quote(inject.match)
@@ -106,8 +109,8 @@ CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
   const JsonValue root = parse_json(text);
   check_known_keys(root,
                    {"name", "workload", "graphs", "placements", "color_seeds",
-                    "scheduler", "max_steps", "retries", "timeout_seconds",
-                    "labeling_budget", "inject"},
+                    "scheduler", "backend", "max_steps", "retries",
+                    "timeout_seconds", "labeling_budget", "inject"},
                    "spec");
   CampaignSpec spec;
   spec.name = root.require("name").as_string();
@@ -152,6 +155,9 @@ CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
   QELECT_CHECK(!spec.color_seeds.empty(),
                "campaign spec: color_seeds must be non-empty");
   spec.scheduler = root.string_or("scheduler", "random");
+  spec.backend = root.string_or("backend", "scalar");
+  QELECT_CHECK(spec.backend == "scalar" || spec.backend == "batch",
+               "campaign spec: unknown backend '" + spec.backend + "'");
   spec.max_steps = static_cast<std::size_t>(root.int_or("max_steps", 0));
   spec.retries = static_cast<int>(root.int_or("retries", 1));
   QELECT_CHECK(spec.retries >= 0, "campaign spec: retries must be >= 0");

@@ -20,13 +20,6 @@ namespace {
 
 using Metrics = std::vector<std::pair<std::string, double>>;
 
-sim::SchedulerPolicy policy_from_name(const std::string& name) {
-  if (name == "random") return sim::SchedulerPolicy::Random;
-  if (name == "round-robin") return sim::SchedulerPolicy::RoundRobin;
-  if (name == "lockstep") return sim::SchedulerPolicy::Lockstep;
-  throw CheckError("campaign: unknown scheduler '" + name + "'");
-}
-
 sim::RunConfig run_config(const TaskSpec& task) {
   sim::RunConfig config;
   config.policy = policy_from_name(task.scheduler);
@@ -186,6 +179,14 @@ Metrics run_petersen_witness(const TaskSpec& task) {
 }
 
 }  // namespace
+
+sim::SchedulerPolicy policy_from_name(const std::string& name) {
+  if (name == "random") return sim::SchedulerPolicy::Random;
+  if (name == "round-robin") return sim::SchedulerPolicy::RoundRobin;
+  if (name == "lockstep") return sim::SchedulerPolicy::Lockstep;
+  if (name == "counter") return sim::SchedulerPolicy::Counter;
+  throw CheckError("campaign: unknown scheduler '" + name + "'");
+}
 
 const char* classification_name(double code) {
   if (code == kClassElect) return "elect";

@@ -176,7 +176,14 @@ struct RunElectRequest {
   InstanceRef instance;
   std::uint64_t seed = 1;            // color seed AND scheduler seed, as in
                                      // campaign elect tasks
-  std::string scheduler = "random";  // random | round-robin | lockstep
+  std::string scheduler = "random";  // random | round-robin | lockstep |
+                                     // counter
+  /// Replicas to run in one request.  1 (the default, and the only value a
+  /// pre-replica client can express -- the field is a trailing optional on
+  /// the wire) is the campaign-identical scalar path.  > 1 requires the
+  /// "counter" scheduler and routes the burst through the batch backend:
+  /// replica i runs the counter stream keyed (seed, i).
+  std::uint32_t replicas = 1;
 };
 
 std::vector<std::uint8_t> encode_electable_request(const InstanceRef& inst);
@@ -221,8 +228,8 @@ struct ViewClassesResponse {
   std::vector<std::vector<std::uint32_t>> classes;
 };
 
-struct RunElectResponse {
-  ResponseHead head;
+/// One replica's verdict inside a multi-replica RUN_ELECT response.
+struct ReplicaVerdict {
   std::uint8_t completed = 0;
   std::uint8_t clean_election = 0;
   std::uint8_t clean_failure = 0;
@@ -230,6 +237,24 @@ struct RunElectResponse {
   std::uint64_t final_gcd = 0;
   std::uint64_t moves = 0;
   std::uint64_t steps = 0;
+
+  bool operator==(const ReplicaVerdict&) const = default;
+};
+
+struct RunElectResponse {
+  ResponseHead head;
+  /// Replica 0's verdict (the whole answer for a single-replica request,
+  /// so pre-replica clients decode responses unchanged).
+  std::uint8_t completed = 0;
+  std::uint8_t clean_election = 0;
+  std::uint8_t clean_failure = 0;
+  std::uint8_t matches_oracle = 0;
+  std::uint64_t final_gcd = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t steps = 0;
+  /// Per-replica verdicts, present (size == request.replicas, entry 0
+  /// duplicating the fields above) only for multi-replica requests.
+  std::vector<ReplicaVerdict> replicas;
 };
 
 struct StatsResponse {

@@ -57,6 +57,9 @@ struct ServiceLimits {
   /// recognition, labeling search) only up to this many nodes; beyond it a
   /// non-elect verdict is reported as "open" rather than burning a core.
   std::size_t max_deep_nodes = 64;
+  /// Largest RUN_ELECT burst (replicas per request) routed through the
+  /// batch backend; larger requests are refused with kStatusTooLarge.
+  std::uint32_t max_replicas = 1024;
 };
 
 /// Bounded LRU of encoded responses keyed by (opcode, request payload).
@@ -135,6 +138,7 @@ class Service {
   std::vector<std::uint8_t> run_sigma(const SigmaRequest& req);
   std::vector<std::uint8_t> run_view_classes(const InstanceRef& inst);
   std::vector<std::uint8_t> run_run_elect(const RunElectRequest& req);
+  std::vector<std::uint8_t> run_run_elect_batch(const RunElectRequest& req);
   std::vector<std::uint8_t> run_stats(
       const ResponseCache* cache,
       const std::vector<std::pair<std::string, std::uint64_t>>* extra);

@@ -231,6 +231,10 @@ std::vector<std::uint8_t> encode_run_elect_request(const RunElectRequest& req) {
   encode_instance(w, req.instance);
   w.u64(req.seed);
   w.str(req.scheduler);
+  // Trailing optional: omitted for the default so single-replica requests
+  // are byte-identical to the pre-replica encoding (same cache keys, same
+  // goldens).
+  if (req.replicas != 1) w.u32(req.replicas);
   return w.take();
 }
 
@@ -254,7 +258,9 @@ bool decode_run_elect_request(const std::vector<std::uint8_t>& payload,
   if (!decode_instance(r, &req->instance)) return false;
   req->seed = r.u64();
   req->scheduler = r.str();
-  return r.done();
+  req->replicas = 1;
+  if (r.ok() && !r.done()) req->replicas = r.u32();
+  return r.done() && req->replicas >= 1;
 }
 
 // ---- responses -----------------------------------------------------------
@@ -332,6 +338,23 @@ bool decode_run_elect_response(const std::vector<std::uint8_t>& payload,
   resp->final_gcd = r.u64();
   resp->moves = r.u64();
   resp->steps = r.u64();
+  resp->replicas.clear();
+  if (r.ok() && !r.done()) {
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || count > (1u << 20)) return false;
+    resp->replicas.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ReplicaVerdict v;
+      v.completed = r.u8();
+      v.clean_election = r.u8();
+      v.clean_failure = r.u8();
+      v.matches_oracle = r.u8();
+      v.final_gcd = r.u64();
+      v.moves = r.u64();
+      v.steps = r.u64();
+      resp->replicas.push_back(v);
+    }
+  }
   return r.done();
 }
 

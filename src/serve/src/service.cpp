@@ -2,9 +2,13 @@
 
 #include <cstring>
 
+#include "qelect/campaign/batch.hpp"
 #include "qelect/campaign/task.hpp"
 #include "qelect/campaign/workloads.hpp"
 #include "qelect/core/analysis.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/core/elect_batch.hpp"
+#include "qelect/sim/world.hpp"
 #include "qelect/graph/labeling.hpp"
 #include "qelect/graph/placement.hpp"
 #include "qelect/iso/cert_cache.hpp"
@@ -326,8 +330,9 @@ std::vector<std::uint8_t> Service::run_run_elect(const RunElectRequest& req) {
   QELECT_CHECK(!req.instance.home_bases.empty(),
                "RUN_ELECT needs at least one home base");
   QELECT_CHECK(req.scheduler == "random" || req.scheduler == "round-robin" ||
-                   req.scheduler == "lockstep",
+                   req.scheduler == "lockstep" || req.scheduler == "counter",
                "unknown scheduler '" + req.scheduler + "'");
+  if (req.replicas > 1) return run_run_elect_batch(req);
   // Size validation only; run_task rebuilds through the worker's WorldPool,
   // so a repeated instance re-uses the pooled arena instead of this copy.
   build_instance(req.instance, limits_);
@@ -348,6 +353,90 @@ std::vector<std::uint8_t> Service::run_run_elect(const RunElectRequest& req) {
   return w.take();
 }
 
+/// A multi-replica RUN_ELECT burst: one batch-plan compile, all replicas
+/// advanced in lockstep by the batch backend.  A replica the batch model
+/// refuses (it never should -- the golden gate pins parity) is re-run on
+/// the scalar engine with the identical (seed, replica) counter stream, so
+/// the response never degrades, only the stats note the fallback.
+std::vector<std::uint8_t> Service::run_run_elect_batch(
+    const RunElectRequest& req) {
+  QELECT_CHECK(req.scheduler == "counter",
+               "multi-replica RUN_ELECT requires the 'counter' scheduler");
+  if (req.replicas > limits_.max_replicas) {
+    return encode_error_response(
+        kStatusTooLarge,
+        "RUN_ELECT burst of " + std::to_string(req.replicas) +
+            " replicas exceeds max_replicas = " +
+            std::to_string(limits_.max_replicas));
+  }
+  const BuiltInstance built = build_instance(req.instance, limits_);
+  const auto plan = core::compile_elect_batch_plan(built.g, built.p);
+  std::vector<sim::BatchReplicaConfig> replicas;
+  replicas.reserve(req.replicas);
+  for (std::uint32_t i = 0; i < req.replicas; ++i) {
+    replicas.push_back({req.seed, i});
+  }
+  sim::BatchConfig config;
+  config.policy = sim::SchedulerPolicy::Counter;
+  const core::ElectBatchOutcome outcome =
+      core::run_elect_batch(plan, replicas, config);
+
+  auto& stats = campaign::batch_stats();
+  stats.slabs_run.fetch_add(1, std::memory_order_relaxed);
+  stats.replicas_run.fetch_add(req.replicas, std::memory_order_relaxed);
+  stats.slab_size_hist[campaign::BatchStats::bucket_of(req.replicas)]
+      .fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<ReplicaVerdict> verdicts(req.replicas);
+  for (std::uint32_t i = 0; i < req.replicas; ++i) {
+    sim::RunResult run;
+    if (outcome.failed[i]) {
+      stats.scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      sim::World world(built.g, built.p, /*color_seed=*/req.seed);
+      sim::RunConfig cfg;
+      cfg.policy = sim::SchedulerPolicy::Counter;
+      cfg.seed = req.seed;
+      cfg.replica = i;
+      run = world.run(core::make_elect_protocol(), cfg);
+    } else {
+      run = outcome.runs[i];
+    }
+    ReplicaVerdict& v = verdicts[i];
+    v.completed = run.completed ? 1 : 0;
+    v.clean_election = run.clean_election() ? 1 : 0;
+    v.clean_failure = run.clean_failure() ? 1 : 0;
+    v.matches_oracle =
+        (run.completed && run.clean_election() == (plan->final_gcd == 1) &&
+         run.clean_failure() == (plan->final_gcd != 1))
+            ? 1
+            : 0;
+    v.final_gcd = plan->final_gcd;
+    v.moves = run.total_moves;
+    v.steps = run.steps;
+  }
+
+  WireWriter w;
+  w.u32(kStatusOk);
+  w.u8(verdicts[0].completed);
+  w.u8(verdicts[0].clean_election);
+  w.u8(verdicts[0].clean_failure);
+  w.u8(verdicts[0].matches_oracle);
+  w.u64(verdicts[0].final_gcd);
+  w.u64(verdicts[0].moves);
+  w.u64(verdicts[0].steps);
+  w.u32(req.replicas);
+  for (const ReplicaVerdict& v : verdicts) {
+    w.u8(v.completed);
+    w.u8(v.clean_election);
+    w.u8(v.clean_failure);
+    w.u8(v.matches_oracle);
+    w.u64(v.final_gcd);
+    w.u64(v.moves);
+    w.u64(v.steps);
+  }
+  return w.take();
+}
+
 std::vector<std::uint8_t> Service::run_stats(
     const ResponseCache* cache,
     const std::vector<std::pair<std::string, std::uint64_t>>* extra) {
@@ -359,6 +448,26 @@ std::vector<std::uint8_t> Service::run_stats(
         requests_[code].load(std::memory_order_relaxed));
   }
   counters.emplace_back("errors", errors_.load(std::memory_order_relaxed));
+
+  // Batch-backend counters, shared with the campaign engine: RUN_ELECT
+  // bursts and campaign slabs both land here.
+  const auto& batch = campaign::batch_stats();
+  counters.emplace_back("batch_slabs_run",
+                        batch.slabs_run.load(std::memory_order_relaxed));
+  counters.emplace_back("batch_replicas_run",
+                        batch.replicas_run.load(std::memory_order_relaxed));
+  counters.emplace_back(
+      "batch_scalar_fallbacks",
+      batch.scalar_fallbacks.load(std::memory_order_relaxed));
+  static const char* kSlabBucketNames[campaign::kSlabHistBuckets] = {
+      "batch_slab_size_1",     "batch_slab_size_2_3",
+      "batch_slab_size_4_7",   "batch_slab_size_8_15",
+      "batch_slab_size_16_31", "batch_slab_size_32_plus"};
+  for (std::size_t b = 0; b < campaign::kSlabHistBuckets; ++b) {
+    counters.emplace_back(
+        kSlabBucketNames[b],
+        batch.slab_size_hist[b].load(std::memory_order_relaxed));
+  }
 
   const auto cert = iso::CertificateCache::global().stats();
   counters.emplace_back("cert_cache_hits", cert.hits);

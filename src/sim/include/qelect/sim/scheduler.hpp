@@ -38,6 +38,8 @@ class Scheduler {
  private:
   SchedulerPolicy policy_;
   Xoshiro256 rng_;
+  Philox4x32 counter_rng_;  // Counter policy stream, keyed (seed, replica)
+  std::uint64_t counter_ = 0;  // next Counter draw index
   std::size_t cursor_ = 0;  // round-robin position, or next replay pick
   std::size_t agent_count_;
   const trace::Schedule* replay_ = nullptr;

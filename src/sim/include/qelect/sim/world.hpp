@@ -124,9 +124,13 @@ enum class SchedulerPolicy {
   RoundRobin,  // cyclic over enabled agents
   Lockstep,    // synchronous rounds: every enabled agent steps once per round
   Replay,      // consume a recorded schedule (RunConfig::replay), exactly
+  Counter,     // counter-based random (Philox4x32 keyed on (seed, replica));
+               // draw i is a pure function of the key, so any replica's
+               // schedule is reconstructible without replaying the stream
 };
 
-/// Stable lowercase name ("random", "round-robin", "lockstep", "replay").
+/// Stable lowercase name ("random", "round-robin", "lockstep", "replay",
+/// "counter").
 const char* policy_name(SchedulerPolicy policy);
 
 /// Events are the trace subsystem's record type; the alias keeps existing
@@ -136,6 +140,11 @@ using TraceEvent = trace::TraceEvent;
 struct RunConfig {
   SchedulerPolicy policy = SchedulerPolicy::Random;
   std::uint64_t seed = 1;
+  /// Stream id for SchedulerPolicy::Counter: replica `r` of a batch run
+  /// draws from the Philox stream keyed (seed, r), and a scalar run with
+  /// the same (seed, replica) reproduces that exact schedule.  Ignored by
+  /// the other policies.
+  std::uint64_t replica = 0;
   std::size_t max_steps = 20'000'000;
 
   /// Streaming observability: when set, the runtime reports run metadata,

@@ -7,7 +7,10 @@
 namespace qelect::sim {
 
 Scheduler::Scheduler(const RunConfig& config, std::size_t agent_count)
-    : policy_(config.policy), rng_(config.seed), agent_count_(agent_count) {
+    : policy_(config.policy),
+      rng_(config.seed),
+      counter_rng_(config.seed, config.replica),
+      agent_count_(agent_count) {
   if (policy_ == SchedulerPolicy::Replay) {
     QELECT_CHECK(config.replay != nullptr,
                  "SchedulerPolicy::Replay requires RunConfig::replay");
@@ -37,6 +40,13 @@ std::size_t Scheduler::pick(const std::vector<std::size_t>& enabled) {
       }
     }
     QELECT_ASSERT(false);
+  }
+  if (policy_ == SchedulerPolicy::Counter) {
+    // Exactly one Philox evaluation per pick, so draw index == counter:
+    // pick i of replica r is Philox(seed, r).at(i), reconstructible without
+    // replaying the stream (mul-shift reduction, no rejection loop).
+    const std::uint64_t word = counter_rng_.at(counter_++);
+    return enabled[bounded_draw(word, enabled.size())];
   }
   // Random (default): uniform over the enabled set.
   return enabled[rng_.below(enabled.size())];

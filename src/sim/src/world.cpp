@@ -20,6 +20,8 @@ const char* policy_name(SchedulerPolicy policy) {
       return "lockstep";
     case SchedulerPolicy::Replay:
       return "replay";
+    case SchedulerPolicy::Counter:
+      return "counter";
   }
   return "?";
 }

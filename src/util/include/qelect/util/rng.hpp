@@ -11,6 +11,8 @@
 #include <limits>
 #include <vector>
 
+#include "qelect/util/assert.hpp"
+
 namespace qelect {
 
 /// SplitMix64: a 64-bit mixing PRNG, primarily used to expand a single user
@@ -76,6 +78,89 @@ class Xoshiro256 {
  private:
   std::uint64_t s_[4];
 };
+
+/// Philox4x32-10: a counter-based PRNG (Salmon et al., SC'11 "Parallel
+/// random numbers: as easy as 1, 2, 3").  Unlike the stateful generators
+/// above, output is a pure function of (key, stream, counter), so any
+/// position in any stream can be computed independently and out of order.
+/// The batch simulator backend keys streams on (campaign seed, replica) and
+/// uses the draw index as the counter, which makes every replica's schedule
+/// statelessly reconstructible -- the scalar engine can re-derive the exact
+/// draw sequence of batch replica `r` without replaying the other replicas.
+class Philox4x32 {
+ public:
+  /// One stream: `seed` is the cipher key, `stream` the high counter half.
+  Philox4x32(std::uint64_t seed, std::uint64_t stream)
+      : seed_(seed), stream_(stream) {}
+
+  /// 64-bit output at position `counter` of this stream (words 0 and 1 of
+  /// the 4x32 block).  Pure function; no internal state.
+  std::uint64_t at(std::uint64_t counter) const {
+    return block(seed_, stream_, counter);
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t stream() const { return stream_; }
+
+  /// The raw 10-round block function: counter words are
+  /// {lo32(counter), hi32(counter), lo32(stream), hi32(stream)}, key words
+  /// {lo32(seed), hi32(seed)}; returns out[0] | out[1] << 32.  Defined
+  /// inline: the batch scheduler draws one block per step, and an
+  /// out-of-line call here was a measurable fraction of the hot loop.
+  static std::uint64_t block(std::uint64_t seed, std::uint64_t stream,
+                             std::uint64_t counter) {
+    // Philox4x32 constants (Salmon et al., SC'11, Table 2).
+    constexpr std::uint32_t kW0 = 0x9E3779B9u;  // golden ratio
+    constexpr std::uint32_t kW1 = 0xBB67AE85u;  // sqrt(3) - 1
+    constexpr std::uint32_t kM0 = 0xD2511F53u;
+    constexpr std::uint32_t kM1 = 0xCD9E8D57u;
+    std::uint32_t x0 = static_cast<std::uint32_t>(counter);
+    std::uint32_t x1 = static_cast<std::uint32_t>(counter >> 32);
+    std::uint32_t x2 = static_cast<std::uint32_t>(stream);
+    std::uint32_t x3 = static_cast<std::uint32_t>(stream >> 32);
+    std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+    std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+    for (int round = 0; round < 10; ++round) {
+      const std::uint64_t p0 = static_cast<std::uint64_t>(kM0) * x0;
+      const std::uint64_t p1 = static_cast<std::uint64_t>(kM1) * x2;
+      const std::uint32_t y0 = static_cast<std::uint32_t>(p1 >> 32) ^ x1 ^ k0;
+      const std::uint32_t y1 = static_cast<std::uint32_t>(p1);
+      const std::uint32_t y2 = static_cast<std::uint32_t>(p0 >> 32) ^ x3 ^ k1;
+      const std::uint32_t y3 = static_cast<std::uint32_t>(p0);
+      x0 = y0;
+      x1 = y1;
+      x2 = y2;
+      x3 = y3;
+      k0 += kW0;
+      k1 += kW1;
+    }
+    return static_cast<std::uint64_t>(x0) |
+           (static_cast<std::uint64_t>(x1) << 32);
+  }
+
+  /// Fills out[0..n) with block(seed, stream, counter + i) -- bit-identical
+  /// to n scalar block() calls.  Blocks at consecutive counters are
+  /// independent, so the implementation computes them four lanes at a time
+  /// (AVX2 when the CPU has it, dispatched at runtime); the batch scheduler
+  /// refills its draw buffer through this.
+  static void block_many(std::uint64_t seed, std::uint64_t stream,
+                         std::uint64_t counter, std::uint64_t* out,
+                         std::size_t n);
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+};
+
+/// Maps a uniform 64-bit `word` into [0, bound) with one multiply-shift
+/// (Lemire's fast-range reduction, no rejection loop).  The counter-based
+/// scheduler uses this so that draw index == counter index exactly; the
+/// bias is bound/2^64, negligible for simulator-sized bounds.
+inline std::uint64_t bounded_draw(std::uint64_t word, std::uint64_t bound) {
+  QELECT_ASSERT(bound > 0);
+  __extension__ typedef unsigned __int128 u128;
+  return static_cast<std::uint64_t>((static_cast<u128>(word) * bound) >> 64);
+}
 
 /// Hash-combines two 64-bit values; used for structural certificates.
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);

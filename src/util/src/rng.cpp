@@ -2,6 +2,10 @@
 
 #include "qelect/util/assert.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 namespace qelect {
 
 std::uint64_t SplitMix64::next() {
@@ -53,6 +57,89 @@ bool Xoshiro256::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform01() < p;
+}
+
+namespace {
+
+void philox_many_scalar(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t counter, std::uint64_t* out,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Philox4x32::block(seed, stream, counter + i);
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define QELECT_PHILOX_AVX2 1
+// Four blocks per iteration: each 64-bit lane of a ymm register carries one
+// block's zero-extended 32-bit state word, so _mm256_mul_epu32 yields the
+// full 32x32->64 products the Philox round needs.  Outputs are bit-identical
+// to the scalar block() (verified by Rng.PhiloxBlockManyMatchesBlock).
+__attribute__((target("avx2"))) void philox_many_avx2(
+    std::uint64_t seed, std::uint64_t stream, std::uint64_t counter,
+    std::uint64_t* out, std::size_t n) {
+  constexpr std::uint64_t kMask32 = 0xffffffffull;
+  const __m256i mask32 = _mm256_set1_epi64x(static_cast<long long>(kMask32));
+  const __m256i m0 = _mm256_set1_epi64x(0xD2511F53ll);
+  const __m256i m1 = _mm256_set1_epi64x(0xCD9E8D57ll);
+  const __m256i w0 = _mm256_set1_epi64x(0x9E3779B9ll);
+  const __m256i w1 = _mm256_set1_epi64x(0xBB67AE85ll);
+  const __m256i x2_init =
+      _mm256_set1_epi64x(static_cast<long long>(stream & kMask32));
+  const __m256i x3_init =
+      _mm256_set1_epi64x(static_cast<long long>(stream >> 32));
+  const __m256i k0_init =
+      _mm256_set1_epi64x(static_cast<long long>(seed & kMask32));
+  const __m256i k1_init =
+      _mm256_set1_epi64x(static_cast<long long>(seed >> 32));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(counter + i)),
+        _mm256_set_epi64x(3, 2, 1, 0));
+    __m256i x0 = _mm256_and_si256(c, mask32);
+    __m256i x1 = _mm256_srli_epi64(c, 32);
+    __m256i x2 = x2_init;
+    __m256i x3 = x3_init;
+    __m256i k0 = k0_init;
+    __m256i k1 = k1_init;
+    for (int round = 0; round < 10; ++round) {
+      const __m256i p0 = _mm256_mul_epu32(x0, m0);
+      const __m256i p1 = _mm256_mul_epu32(x2, m1);
+      const __m256i y0 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(p1, 32), x1), k0);
+      const __m256i y1 = _mm256_and_si256(p1, mask32);
+      const __m256i y2 = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(p0, 32), x3), k1);
+      const __m256i y3 = _mm256_and_si256(p0, mask32);
+      x0 = y0;
+      x1 = y1;
+      x2 = y2;
+      x3 = y3;
+      k0 = _mm256_and_si256(_mm256_add_epi64(k0, w0), mask32);
+      k1 = _mm256_and_si256(_mm256_add_epi64(k1, w1), mask32);
+    }
+    const __m256i r =
+        _mm256_or_si256(x0, _mm256_slli_epi64(x1, 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  if (i < n) philox_many_scalar(seed, stream, counter + i, out + i, n - i);
+}
+#endif  // __x86_64__ && __GNUC__
+
+}  // namespace
+
+void Philox4x32::block_many(std::uint64_t seed, std::uint64_t stream,
+                            std::uint64_t counter, std::uint64_t* out,
+                            std::size_t n) {
+#if defined(QELECT_PHILOX_AVX2)
+  static const bool kHasAvx2 = __builtin_cpu_supports("avx2") != 0;
+  if (kHasAvx2) {
+    philox_many_avx2(seed, stream, counter, out, n);
+    return;
+  }
+#endif
+  philox_many_scalar(seed, stream, counter, out, n);
 }
 
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "qelect/campaign/batch.hpp"
 #include "qelect/campaign/builtin.hpp"
 #include "qelect/campaign/engine.hpp"
 #include "qelect/campaign/report.hpp"
@@ -329,6 +330,134 @@ TEST(CampaignWorkloads, AnalyzeClassifiesKnownInstances) {
   task.home_bases = {0, 2};
   record.metrics = run_task(task, {});
   EXPECT_EQ(record.metric_or("class", -1), kClassElect);
+}
+
+TEST(CampaignSpec, BackendFieldRoundTripsAndDefaultPreservesHash) {
+  // The backend axis must not disturb pre-existing spec hashes: a default
+  // ("scalar") spec serializes without the key at all.
+  CampaignSpec spec = small_spec();
+  EXPECT_EQ(spec.to_json().find("backend"), std::string::npos);
+  CampaignSpec batch = spec;
+  batch.backend = "batch";
+  EXPECT_NE(batch.to_json().find("\"backend\":\"batch\""),
+            std::string::npos);
+  EXPECT_NE(batch.spec_hash(), spec.spec_hash());
+  const CampaignSpec back = CampaignSpec::from_json_text(batch.to_json());
+  EXPECT_EQ(back, batch);
+  EXPECT_THROW(CampaignSpec::from_json_text(
+                   R"({"name":"x","workload":"elect","backend":"gpu"})"),
+               CheckError);
+}
+
+TEST(CampaignSpec, CounterSchedulerRoundTrips) {
+  CampaignSpec spec = small_spec();
+  spec.scheduler = "counter";
+  const CampaignSpec back = CampaignSpec::from_json_text(spec.to_json());
+  EXPECT_EQ(back.scheduler, "counter");
+  EXPECT_EQ(policy_from_name("counter"), sim::SchedulerPolicy::Counter);
+}
+
+TEST(CampaignEngine, BatchBackendStoreMatchesScalarByteForByte) {
+  // The batch backend's defining guarantee: same tasks, same records.
+  // Deterministic mode zeroes durations, so the stores must be identical
+  // bytes -- across every scheduler the batch engine supports.
+  for (const std::string scheduler :
+       {"random", "round-robin", "lockstep", "counter"}) {
+    ScratchDir scratch("batch_parity_" + scheduler);
+    CampaignSpec spec = small_spec();
+    spec.scheduler = scheduler;
+    spec.color_seeds = {1, 7};
+    EngineOptions options;
+    options.deterministic = true;
+    options.shards = 2;
+
+    const std::string scalar_store = scratch.path("scalar.jsonl");
+    run_campaign(spec, scalar_store, options);
+
+    spec.backend = "batch";
+    const std::string batch_store = scratch.path("batch.jsonl");
+    const CampaignResult result = run_campaign(spec, batch_store, options);
+    EXPECT_TRUE(result.complete()) << scheduler;
+    EXPECT_EQ(result.failed, 0u) << scheduler;
+
+    // Store headers differ (the batch spec embeds its backend); every
+    // record line after the header must match exactly.
+    const std::string scalar_bytes = slurp(scalar_store);
+    const std::string batch_bytes = slurp(batch_store);
+    EXPECT_EQ(scalar_bytes.substr(scalar_bytes.find('\n')),
+              batch_bytes.substr(batch_bytes.find('\n')))
+        << scheduler;
+  }
+}
+
+TEST(CampaignEngine, BatchBackendKilledThenResumedIsByteIdentical) {
+  // Slab claiming must preserve the engine's crash contract: records land
+  // in task order, so a stop_after kill leaves a clean prefix and resuming
+  // (which re-slabs only the pending suffix) appends exactly the rest.
+  ScratchDir scratch("batch_resume");
+  CampaignSpec spec = small_spec();
+  spec.backend = "batch";
+  spec.color_seeds = {1, 7};
+  EngineOptions options;
+  options.deterministic = true;
+
+  const std::string uninterrupted = scratch.path("full.jsonl");
+  run_campaign(spec, uninterrupted, options);
+  const std::string full_bytes = slurp(uninterrupted);
+
+  const std::string killed = scratch.path("killed.jsonl");
+  EngineOptions stop = options;
+  stop.stop_after = 5;
+  const CampaignResult partial = run_campaign(spec, killed, stop);
+  EXPECT_TRUE(partial.stopped_early);
+  const std::string prefix = slurp(killed);
+  EXPECT_LT(prefix.size(), full_bytes.size());
+  EXPECT_EQ(full_bytes.compare(0, prefix.size(), prefix), 0);
+
+  const CampaignResult resumed = run_campaign(spec, killed, options);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(slurp(killed), full_bytes);
+}
+
+TEST(CampaignEngine, BatchStatsCountSlabsAndReplicas) {
+  ScratchDir scratch("batch_stats");
+  CampaignSpec spec = small_spec();  // 52 tasks over 26 instances
+  spec.backend = "batch";
+  spec.color_seeds = {1, 7};
+  EngineOptions options;
+  options.deterministic = true;
+  BatchStats& stats = batch_stats();
+  const std::uint64_t slabs0 = stats.slabs_run.load();
+  const std::uint64_t replicas0 = stats.replicas_run.load();
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("s.jsonl"), options);
+  EXPECT_TRUE(result.complete());
+  const std::uint64_t slabs = stats.slabs_run.load() - slabs0;
+  const std::uint64_t replicas = stats.replicas_run.load() - replicas0;
+  EXPECT_GT(slabs, 0u);
+  EXPECT_EQ(replicas, result.executed);
+  // Two color seeds per instance => every slab holds 2 replicas.
+  EXPECT_EQ(replicas, slabs * 2);
+  EXPECT_EQ(BatchStats::bucket_of(1), 0u);
+  EXPECT_EQ(BatchStats::bucket_of(2), 1u);
+  EXPECT_EQ(BatchStats::bucket_of(8), 3u);
+  EXPECT_EQ(BatchStats::bucket_of(100), 5u);
+}
+
+TEST(CampaignEngine, BatchIneligibleSpecsFallBackToScalar) {
+  // Fault injection forces the scalar path even under backend=batch: the
+  // injected failure must still fire (slab execution would bypass it).
+  ScratchDir scratch("batch_inject");
+  CampaignSpec spec = small_spec();
+  spec.backend = "batch";
+  spec.inject = {"ring(4)", 1};
+  spec.retries = 1;
+  EngineOptions options;
+  options.deterministic = true;
+  const CampaignResult result =
+      run_campaign(spec, scratch.path("s.jsonl"), options);
+  EXPECT_TRUE(result.complete());
+  EXPECT_GT(result.retried, 0u);
 }
 
 }  // namespace

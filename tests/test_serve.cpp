@@ -18,9 +18,12 @@
 
 #include "qelect/campaign/task.hpp"
 #include "qelect/campaign/workloads.hpp"
+#include "qelect/core/elect.hpp"
+#include "qelect/graph/placement.hpp"
 #include "qelect/serve/client.hpp"
 #include "qelect/serve/server.hpp"
 #include "qelect/serve/service.hpp"
+#include "qelect/sim/world.hpp"
 #include "qelect/util/assert.hpp"
 #include "qelect/util/cancel.hpp"
 
@@ -329,6 +332,122 @@ TEST(Service, StatsReportCountersAndExtras) {
   // The cert-cache section is present (values depend on suite order).
   counter("cert_cache_hits");
   counter("cert_cache_capacity");
+}
+
+// ---- multi-replica RUN_ELECT bursts (batch backend) ----------------------
+
+RunElectResponse run_elect(Service& service, const RunElectRequest& req) {
+  RunElectResponse resp;
+  EXPECT_TRUE(decode_run_elect_response(
+      service.handle(static_cast<std::uint16_t>(Opcode::kRunElect),
+                     encode_run_elect_request(req)),
+      &resp));
+  return resp;
+}
+
+// Every replica of a burst must report exactly what a direct scalar World
+// run of the same (seed, replica) counter stream reports -- the serve-side
+// face of the batch golden gate.
+TEST(Service, RunElectBurstMatchesScalarCounterPerReplica) {
+  Service service;
+  const std::uint32_t kReplicas = 8;
+  RunElectRequest req;
+  req.instance = {"ring", {5}, {0, 1, 3}};
+  req.seed = 7;
+  req.scheduler = "counter";
+  req.replicas = kReplicas;
+  const RunElectResponse resp = run_elect(service, req);
+  ASSERT_EQ(resp.head.status, kStatusOk) << resp.head.error;
+  ASSERT_EQ(resp.replicas.size(), kReplicas);
+
+  const graph::Graph g = campaign::GraphRef{"ring", {5}}.build();
+  const graph::Placement p(g.node_count(), {0, 1, 3});
+  bool any_stream_differs = false;
+  for (std::uint32_t i = 0; i < kReplicas; ++i) {
+    sim::World world(g, p, /*color_seed=*/req.seed);
+    sim::RunConfig cfg;
+    cfg.policy = sim::SchedulerPolicy::Counter;
+    cfg.seed = req.seed;
+    cfg.replica = i;
+    const sim::RunResult run = world.run(core::make_elect_protocol(), cfg);
+    const ReplicaVerdict& v = resp.replicas[i];
+    EXPECT_EQ(v.completed, run.completed ? 1 : 0) << "replica " << i;
+    EXPECT_EQ(v.clean_election, run.clean_election() ? 1 : 0)
+        << "replica " << i;
+    EXPECT_EQ(v.clean_failure, run.clean_failure() ? 1 : 0)
+        << "replica " << i;
+    EXPECT_EQ(v.moves, run.total_moves) << "replica " << i;
+    EXPECT_EQ(v.steps, run.steps) << "replica " << i;
+    if (run.steps != resp.replicas[0].steps) any_stream_differs = true;
+  }
+  // The streams are genuinely distinct schedules, not one run repeated.
+  EXPECT_TRUE(any_stream_differs);
+
+  // The compatibility fields mirror replica 0.
+  EXPECT_EQ(resp.completed, resp.replicas[0].completed);
+  EXPECT_EQ(resp.moves, resp.replicas[0].moves);
+  EXPECT_EQ(resp.steps, resp.replicas[0].steps);
+
+  // And a single-replica counter request returns exactly replica 0.
+  req.replicas = 1;
+  const RunElectResponse single = run_elect(service, req);
+  ASSERT_EQ(single.head.status, kStatusOk) << single.head.error;
+  EXPECT_TRUE(single.replicas.empty());
+  EXPECT_EQ(single.completed, resp.replicas[0].completed);
+  EXPECT_EQ(single.moves, resp.replicas[0].moves);
+  EXPECT_EQ(single.steps, resp.replicas[0].steps);
+}
+
+TEST(Service, RunElectBurstRequiresCounterScheduler) {
+  Service service;
+  RunElectRequest req;
+  req.instance = {"ring", {6}, {0, 2}};
+  req.scheduler = "random";
+  req.replicas = 4;
+  const RunElectResponse resp = run_elect(service, req);
+  EXPECT_EQ(resp.head.status, kStatusBadRequest);
+}
+
+TEST(Service, RunElectBurstRespectsMaxReplicas) {
+  ServiceLimits limits;
+  limits.max_replicas = 4;
+  Service service(limits);
+  RunElectRequest req;
+  req.instance = {"ring", {6}, {0, 2}};
+  req.scheduler = "counter";
+  req.replicas = 8;
+  const RunElectResponse resp = run_elect(service, req);
+  EXPECT_EQ(resp.head.status, kStatusTooLarge);
+}
+
+TEST(Service, StatsExposeBatchCounters) {
+  Service service;
+  auto stats_counter = [&](const std::string& key) -> std::uint64_t {
+    StatsResponse resp;
+    EXPECT_TRUE(decode_stats_response(
+        service.handle(static_cast<std::uint16_t>(Opcode::kStats), {}),
+        &resp));
+    for (const auto& [k, v] : resp.counters) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing counter " << key;
+    return 0;
+  };
+  const std::uint64_t slabs0 = stats_counter("batch_slabs_run");
+  const std::uint64_t replicas0 = stats_counter("batch_replicas_run");
+  const std::uint64_t hist0 = stats_counter("batch_slab_size_4_7");
+
+  RunElectRequest req;
+  req.instance = {"ring", {6}, {0, 2}};
+  req.scheduler = "counter";
+  req.replicas = 4;
+  const RunElectResponse resp = run_elect(service, req);
+  ASSERT_EQ(resp.head.status, kStatusOk) << resp.head.error;
+
+  EXPECT_EQ(stats_counter("batch_slabs_run"), slabs0 + 1);
+  EXPECT_EQ(stats_counter("batch_replicas_run"), replicas0 + 4);
+  EXPECT_EQ(stats_counter("batch_slab_size_4_7"), hist0 + 1);
+  stats_counter("batch_scalar_fallbacks");  // present
 }
 
 // ---- end-to-end over loopback -------------------------------------------

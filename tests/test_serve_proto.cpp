@@ -235,6 +235,76 @@ TEST(Requests, RunElectRoundTrip) {
   EXPECT_EQ(out.instance.family, "hypercube");
   EXPECT_EQ(out.seed, 0x123456789ull);
   EXPECT_EQ(out.scheduler, "lockstep");
+  EXPECT_EQ(out.replicas, 1u);
+}
+
+TEST(Requests, RunElectReplicasAreATrailingOptional) {
+  RunElectRequest req;
+  req.instance = {"ring", {6}, {0, 2}};
+  req.seed = 9;
+  req.scheduler = "counter";
+
+  // replicas == 1 encodes without the field: byte-identical to a
+  // pre-replica client's request (same cache keys, same framing).
+  const auto single = encode_run_elect_request(req);
+  req.replicas = 1;
+  EXPECT_EQ(encode_run_elect_request(req), single);
+  RunElectRequest out;
+  ASSERT_TRUE(decode_run_elect_request(single, &out));
+  EXPECT_EQ(out.replicas, 1u);
+
+  req.replicas = 64;
+  const auto burst = encode_run_elect_request(req);
+  EXPECT_EQ(burst.size(), single.size() + 4);
+  ASSERT_TRUE(decode_run_elect_request(burst, &out));
+  EXPECT_EQ(out.replicas, 64u);
+  EXPECT_EQ(out.scheduler, "counter");
+
+  // replicas == 0 is meaningless and rejected at the wire layer.
+  req.replicas = 0;
+  EXPECT_FALSE(decode_run_elect_request(encode_run_elect_request(req), &out));
+}
+
+TEST(Responses, RunElectReplicaVerdictsRoundTrip) {
+  WireWriter w;
+  w.u32(kStatusOk);
+  std::vector<ReplicaVerdict> verdicts(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    verdicts[i].completed = 1;
+    verdicts[i].clean_election = i % 2;
+    verdicts[i].matches_oracle = 1;
+    verdicts[i].final_gcd = 1;
+    verdicts[i].moves = 100 + i;
+    verdicts[i].steps = 1000 + i;
+  }
+  w.u8(verdicts[0].completed);
+  w.u8(verdicts[0].clean_election);
+  w.u8(verdicts[0].clean_failure);
+  w.u8(verdicts[0].matches_oracle);
+  w.u64(verdicts[0].final_gcd);
+  w.u64(verdicts[0].moves);
+  w.u64(verdicts[0].steps);
+  w.u32(3);
+  for (const ReplicaVerdict& v : verdicts) {
+    w.u8(v.completed);
+    w.u8(v.clean_election);
+    w.u8(v.clean_failure);
+    w.u8(v.matches_oracle);
+    w.u64(v.final_gcd);
+    w.u64(v.moves);
+    w.u64(v.steps);
+  }
+  const auto payload = w.take();
+  RunElectResponse resp;
+  ASSERT_TRUE(decode_run_elect_response(payload, &resp));
+  EXPECT_EQ(resp.moves, 100u);
+  ASSERT_EQ(resp.replicas.size(), 3u);
+  EXPECT_EQ(resp.replicas[0], verdicts[0]);
+  EXPECT_EQ(resp.replicas[2], verdicts[2]);
+
+  // A truncated replica list must not decode.
+  std::vector<std::uint8_t> cut(payload.begin(), payload.end() - 5);
+  EXPECT_FALSE(decode_run_elect_response(cut, &resp));
 }
 
 TEST(Requests, TrailingGarbageIsRejected) {

@@ -112,7 +112,8 @@ inline int query_usage() {
       "  --bases A,B        home-base nodes (the placement)\n"
       "  --alphabet N       SIGMA alphabet (0 = max degree)\n"
       "  --seed S           RUN_ELECT color/scheduler seed\n"
-      "  --scheduler NAME   random | round-robin | lockstep\n");
+      "  --scheduler NAME   random | round-robin | lockstep | counter\n"
+      "  --replicas N       RUN_ELECT burst size (> 1 needs counter)\n");
   return 2;
 }
 
@@ -150,6 +151,7 @@ inline int query_main(int argc, char** argv, int from) {
   std::uint32_t alphabet = 0;
   std::uint64_t seed = 1;
   std::string scheduler = "random";
+  std::uint32_t replicas = 1;
   auto value = [&](int& i) -> std::string {
     QELECT_CHECK(i + 1 < argc, std::string(argv[i]) + " needs a value");
     return argv[++i];
@@ -175,6 +177,8 @@ inline int query_main(int argc, char** argv, int from) {
       seed = std::stoull(value(i));
     } else if (flag == "--scheduler") {
       scheduler = value(i);
+    } else if (flag == "--replicas") {
+      replicas = static_cast<std::uint32_t>(std::stoul(value(i)));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return query_usage();
@@ -227,7 +231,7 @@ inline int query_main(int argc, char** argv, int from) {
       return 0;
     }
     case serve::Opcode::kRunElect: {
-      const auto resp = client.run_elect({inst, seed, scheduler});
+      const auto resp = client.run_elect({inst, seed, scheduler, replicas});
       if (resp.head.status != serve::kStatusOk) return fail(resp.head);
       std::printf(
           "completed: %s\nclean_election: %s\nclean_failure: %s\n"
@@ -238,6 +242,13 @@ inline int query_main(int argc, char** argv, int from) {
           static_cast<unsigned long long>(resp.final_gcd),
           static_cast<unsigned long long>(resp.moves),
           static_cast<unsigned long long>(resp.steps));
+      for (std::size_t i = 0; i < resp.replicas.size(); ++i) {
+        const serve::ReplicaVerdict& v = resp.replicas[i];
+        std::printf("replica %zu: %s moves=%llu steps=%llu\n", i,
+                    v.matches_oracle ? "ok" : "MISMATCH",
+                    static_cast<unsigned long long>(v.moves),
+                    static_cast<unsigned long long>(v.steps));
+      }
       return 0;
     }
     case serve::Opcode::kStats: {
