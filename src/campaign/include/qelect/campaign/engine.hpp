@@ -8,12 +8,15 @@
 // timed-out task is retried up to the configured budget and then committed
 // as `failed`/`timeout` with its error text -- sibling shards never notice.
 //
-// Shard completions are re-ordered before hitting the store, so records
-// land in task order and any kill point leaves a store that is a clean
-// prefix of the campaign: resuming appends exactly the missing suffix,
-// which is what makes an interrupted-then-resumed store byte-identical to
-// an uninterrupted one (with deterministic == true zeroing wall-clock
-// durations, the one nondeterministic field).
+// Shard completions commit to the WAL immediately, in completion order --
+// no reordering, so a finished task never waits on a slower earlier one
+// (the old head-of-line block before the store went binary).  Each record
+// carries its task_index, and the engine tracks the low-water mark (every
+// task below it is terminal).  Any kill point leaves a store whose records
+// are an exact logical subset of the campaign: resuming runs exactly the
+// missing tasks, so `qelect export` of an interrupted-then-resumed store is
+// byte-identical to an uninterrupted one (with deterministic == true
+// zeroing wall-clock durations, the one nondeterministic field).
 //
 // Live progress streams through the qelect_trace sink API: begin_run
 // carries the campaign shape (label = name, max_steps = task count,
@@ -56,6 +59,9 @@ struct EngineOptions {
   /// Print one status line per `echo_every` commits and per failure to
   /// stdout (0 = silent).
   std::size_t echo_every = 0;
+  /// Store auto-compaction threshold (see StoreOptions::compact_every);
+  /// 0 disables compaction during the run.
+  std::size_t compact_every = 0;
 };
 
 struct CampaignResult {
@@ -67,6 +73,9 @@ struct CampaignResult {
   std::size_t timeout = 0;   // of executed (deadline tripped, all attempts)
   std::size_t retried = 0;   // extra attempts beyond the first, summed
   bool stopped_early = false;
+  /// Every task with index < low_water is terminal in the store (tasks at
+  /// or above it may also be done -- commits land out of order).
+  std::size_t low_water = 0;
   bool complete() const { return skipped + executed == total; }
   double wall_seconds = 0;
 };

@@ -65,6 +65,17 @@ class JsonValue {
 /// CheckError with position info on malformed input.
 JsonValue parse_json(const std::string& text);
 
+/// Locates the exact source bytes of the VALUE of top-level member `key`
+/// in the serialized object `text`: on success *begin/*end delimit the
+/// value (whitespace-trimmed), so callers can preserve a sub-document
+/// byte-for-byte without re-serializing.  The scan respects string
+/// escapes and brace/bracket nesting, so a `key`-lookalike inside another
+/// member's string value is never matched (the store-header extraction
+/// bug a raw find() had).  Returns false when the member is absent;
+/// throws CheckError when `text` is not an object.
+bool json_member_span(const std::string& text, const std::string& key,
+                      std::size_t* begin, std::size_t* end);
+
 /// Serializes a string with the campaign/trace escape conventions.
 std::string json_quote(const std::string& text);
 

@@ -1,24 +1,44 @@
-// The result store: an append-only JSONL file that doubles as the
+// The result store: an append-only binary WAL that doubles as the
 // campaign's checkpoint.
 //
-// Line 1 is the campaign header (name, spec hash, and the full canonical
-// spec, so a store is self-describing -- `qelect resume <store>` needs no
-// other input).  Every following line is one committed task:
+// Layout of the store file (all integers little-endian):
 //
-//   {"type":"task","key":"analyze/ring(6)/p=0.2/s=1","outcome":"ok",
-//    "attempts":1,"duration_seconds":0.0012,"error":"",
-//    "metrics":{"final_gcd":1,"class":0,...}}
+//   "QWAL"                                    file magic
+//   frame*                                    length-prefixed records
 //
-// Records are committed in task order (the engine reorders shard
-// completions before writing), so a store produced by any prefix of a run
-// is itself a valid checkpoint, and a killed-then-resumed campaign
-// re-produces the uninterrupted file byte for byte when durations are
-// written deterministically.  The loader tolerates a torn final line (a
-// crash mid-write); the writer truncates the torn tail before appending.
+//   frame    := u32 payload_len | u32 crc32(payload) | payload
+//   payload  := u8 type | body
+//   type 1   := generation header: u32 format version, u64 generation,
+//               u64 base_records (records owed to the snapshot; 0 = none),
+//               u64 spec_hash, str name, str spec_json
+//   type 2   := one committed task (TaskRecord + its task_index)
+//
+// Records are appended in *commit* order -- worker shards commit out of
+// order, each record carrying its logical task_index -- so the engine
+// never stalls a finished task behind a slow earlier one.  Durability is
+// group commit: StoreWriter::append stages a record, StoreWriter::commit
+// returns once everything staged before it is fdatasync'd, and concurrent
+// committers share one sync.  Recovery reads the longest valid frame
+// prefix: the log ends at the first frame whose length or checksum fails
+// (a torn tail, truncated and re-appended on reopen), so a crash at any
+// byte loses at most the records a commit never acknowledged.
+//
+// Periodic compaction bounds recovery time: the full record set is
+// written to `<path>.snap` (single-checksum snapshot, generation G+1),
+// then the WAL is atomically rewritten as an empty tail at G+1.  Loading
+// a compacted store reads the snapshot and replays only the tail -- no
+// full-log rescan.  A crash between the two steps leaves the snapshot one
+// generation ahead; reopen completes the compaction.
+//
+// The pre-WAL JSONL format is still understood: load_store sniffs it,
+// StoreWriter migrates it to WAL in place, and store_to_jsonl serializes
+// any store back to that exact text (`qelect export`) -- byte-identical
+// to what the JSONL store wrote for deterministic runs, which is how the
+// kill/resume identity suite compares stores across formats.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,58 +55,139 @@ struct TaskRecord {
   double duration_seconds = 0;
   std::string error;  // last attempt's exception text; empty when ok
   std::vector<std::pair<std::string, double>> metrics;
+  /// Position in the campaign's deterministic task expansion: the record's
+  /// logical identity.  Commit order in the WAL is not task order; exports
+  /// and the low-water mark are computed over this index.
+  std::uint64_t task_index = 0;
 
   bool ok() const { return outcome == "ok"; }
 
   /// Metric lookup; returns `fallback` when absent.
   double metric_or(const std::string& name, double fallback) const;
 
-  /// The store line (without trailing newline); fixed field order.
+  /// The legacy-JSONL store line (without trailing newline); fixed field
+  /// order.  `qelect export` emits exactly these bytes.
   std::string to_json() const;
 };
 
-/// The header line.
+/// The campaign identity embedded in the generation header (and, for the
+/// legacy format, the first JSONL line).
 struct StoreHeader {
   std::string name;
   std::uint64_t spec_hash = 0;
   std::string spec_json;  // canonical CampaignSpec serialization
 };
 
-/// A parsed store file.
+/// A parsed store (snapshot + WAL tail merged, or a legacy JSONL file).
 struct LoadedStore {
+  enum class Format { Wal, Jsonl };
+
   bool exists = false;
   bool has_header = false;
-  bool torn_tail = false;       // final line was incomplete/corrupt
-  std::size_t valid_bytes = 0;  // prefix ending after the last intact line
+  Format format = Format::Wal;
+  bool torn_tail = false;       // trailing frame/line was incomplete/corrupt
+  std::size_t valid_bytes = 0;  // WAL/file prefix ending after the last
+                                // intact frame (line); reopen truncates here
+  std::uint64_t generation = 0;       // WAL generation (0 for legacy)
+  std::size_t snapshot_records = 0;   // records loaded from <path>.snap
+  bool pending_compaction = false;    // snapshot is one generation ahead
+                                      // (crash mid-compaction; reopen heals)
   StoreHeader header;
-  std::vector<TaskRecord> records;  // in file order
+  std::vector<TaskRecord> records;  // in commit order (snapshot first)
+  std::size_t low_water = 0;  // every task_index < low_water is present
 
-  /// Last record per key (file order; later lines win).
+  /// Last record per key (commit order; later records win).
   std::unordered_map<std::string, const TaskRecord*> by_key() const;
 };
 
-/// Reads a store; a missing file yields exists == false.  Malformed
-/// interior lines throw CheckError (the file is not a store); only the
-/// final line is allowed to be torn.
+/// Reads a store; a missing file yields exists == false.  Corrupt frames
+/// end the valid prefix (torn tail); a corrupt generation header, an
+/// unreadable-but-required snapshot, or a malformed legacy interior line
+/// throws CheckError.
 LoadedStore load_store(const std::string& path);
 
-/// Append-side of the store.  Opening truncates a torn tail, verifies the
-/// header's spec hash against `header` (CheckError on mismatch -- wrong
-/// store for this campaign), and writes the header line for a new file.
-/// Parent directories are created as needed.
+/// Serializes the store back to the legacy JSONL text: header line, then
+/// one record line per task in task_index order.  For a deterministic
+/// campaign this reproduces the pre-WAL store byte for byte.
+std::string store_to_jsonl(const LoadedStore& store);
+
+/// Writes a snapshot file (used by compaction; exposed so tests can stage
+/// mid-compaction crash states).  Atomic: tmp file + rename + dir fsync.
+void write_snapshot_file(const std::string& snap_path,
+                         const StoreHeader& header, std::uint64_t generation,
+                         const std::vector<TaskRecord>& records);
+
+/// Locates one encoded record body inside StoreWriter's frame arena.
+struct BodySpan {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+struct StoreOptions {
+  /// Auto-compact once this many records have been appended since the
+  /// last compaction AND the tail has outgrown the snapshot (so total
+  /// snapshot work stays linear).  0 disables automatic compaction.
+  std::size_t compact_every = 0;
+};
+
+/// Append-side of the store.  Opening verifies the spec hash against
+/// `header` (CheckError on mismatch -- wrong store for this campaign),
+/// truncates a torn tail, completes an interrupted compaction, migrates a
+/// legacy JSONL store to WAL, and creates parent directories as needed.
+/// Thread-safe: appends stage, commit() group-syncs.
 class StoreWriter {
  public:
-  StoreWriter(const std::string& path, const StoreHeader& header);
+  StoreWriter(const std::string& path, const StoreHeader& header,
+              StoreOptions options = {});
+  ~StoreWriter();
 
-  /// Appends one record line and flushes (a record is durable once
-  /// append returns; kill points fall between lines).
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Stages one record.  NOT yet durable: durability (and the crash
+  /// guarantee) attaches at commit().
   void append(const TaskRecord& record);
 
+  /// Makes every record appended before this call durable (fdatasync).
+  /// Concurrent commits coalesce: whichever thread holds the sync lock
+  /// flushes and syncs for everyone staged so far.
+  void commit();
+
+  /// Snapshots every known record to `<path>.snap` and resets the WAL to
+  /// an empty tail at the next generation.  Loading afterwards replays
+  /// only records appended after this point.
+  void compact();
+
   const std::string& path() const { return path_; }
+  std::uint64_t generation() const { return generation_; }
+  /// Records known to the writer (loaded at open + appended since).
+  std::size_t record_count() const;
 
  private:
+  void open_fresh_locked(std::uint64_t generation, std::uint64_t base,
+                         bool write_records);
+  void maybe_compact();
+
   std::string path_;
-  std::ofstream out_;
+  StoreHeader header_;
+  StoreOptions options_;
+  int fd_ = -1;
+
+  mutable std::mutex write_mu_;  // guards frames_/spans_/flushed_/fd_
+  std::mutex sync_mu_;           // serializes fdatasync group commits
+  /// Every known record, as fully encoded WAL task frames laid end to
+  /// end: the prefix below flushed_ is already durable (in the log tail
+  /// or the snapshot), the rest is staged for the next commit.  Record
+  /// bodies inside the arena are located by spans_, making it double as
+  /// the snapshot/compaction source -- so the hot append path is one
+  /// in-place encode, with no per-record allocation or second copy.
+  std::string frames_;
+  std::vector<BodySpan> spans_;
+  std::uint64_t flushed_ = 0;  // frames_ prefix handed to write(2)
+  std::uint64_t synced_ = 0;   // frames_ prefix covered by fdatasync
+  std::uint64_t generation_ = 1;
+  std::uint64_t snapshot_base_ = 0;      // records in the live snapshot
+  std::size_t appended_since_compact_ = 0;
 };
 
 std::string header_to_json(const StoreHeader& header);

@@ -92,7 +92,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   result.total = tasks.size();
   result.skipped = tasks.size() - pending.size();
 
-  StoreWriter writer(store_path, header);
+  StoreOptions store_options;
+  store_options.compact_every = options.compact_every;
+  StoreWriter writer(store_path, header, store_options);
 
   const int retries = options.retries >= 0 ? options.retries : spec.retries;
   const double timeout_seconds = options.timeout_seconds >= 0
@@ -103,10 +105,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const bool use_batch = batch_eligible(resolved, timeout_seconds);
 
   // Units of claiming: scalar backends claim single tasks; the batch
-  // backend claims whole slabs (same-instance task groups).  Slabs are
-  // ordered by first pending slot, so commit order (strictly by slot) is
-  // unchanged and a kill at any commit still leaves a clean task-order
-  // prefix -- resume identity holds at logical-task granularity.
+  // backend claims whole slabs (same-instance task groups).  Completions
+  // commit as they finish -- the WAL records task_index, so resume
+  // identity holds at logical-task granularity without task-order commits.
   std::vector<std::vector<std::size_t>> slabs;  // values: pending slots
   if (use_batch) {
     std::map<std::string, std::size_t> slab_of;
@@ -137,61 +138,67 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     options.progress->begin_run(meta);
   }
 
-  // Shared commit state: shard completions are staged per pending-index
-  // and flushed strictly in order, so the store only ever grows by the
-  // next record in task order.
+  // Shared commit state: shard completions append to the WAL the moment
+  // they arrive (each record carries its task_index), so a slow task never
+  // blocks a finished one.  The low-water mark tracks the longest terminal
+  // task prefix; records above it are fine -- the WAL is identity-addressed.
   std::mutex mu;
-  std::map<std::size_t, std::pair<unsigned, TaskRecord>> staged;
-  std::size_t next_commit = 0;
+  std::vector<bool> terminal(tasks.size(), false);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (done.find(tasks[i].key) != done.end()) terminal[i] = true;
+  }
+  std::size_t low_water = 0;
+  while (low_water < tasks.size() && terminal[low_water]) ++low_water;
   CancelSource stop;
   const CancelToken stop_token = stop.token();
   std::atomic<std::size_t> next_claim{0};
 
-  auto drain_commits_locked = [&] {
-    for (auto it = staged.find(next_commit); it != staged.end();
-         it = staged.find(next_commit)) {
-      if (options.stop_after > 0 && result.executed >= options.stop_after) {
-        result.stopped_early = true;
-        stop.cancel();
-        return;
-      }
-      const auto& [shard, record] = it->second;
-      writer.append(record);
-      ++result.executed;
-      if (record.outcome == "ok") {
-        ++result.ok;
-      } else if (record.outcome == "timeout") {
-        ++result.timeout;
-      } else {
-        ++result.failed;
-      }
-      result.retried += static_cast<std::size_t>(record.attempts - 1);
-      if (options.progress != nullptr) {
-        trace::TraceEvent event;
-        event.step = result.executed - 1;
-        event.agent = shard;
-        event.kind = record.ok() ? trace::TraceEvent::Kind::TaskOk
-                                 : trace::TraceEvent::Kind::TaskFail;
-        event.node = static_cast<graph::NodeId>(pending[next_commit]);
-        options.progress->on_event(event);
-      }
-      if (options.echo_every > 0 &&
-          (!record.ok() || result.executed % options.echo_every == 0 ||
-           result.executed == pending.size())) {
-        if (record.ok()) {
-          std::printf("  [%zu/%zu] ok (%zu failed, %zu timeout)\n",
-                      result.executed, pending.size(), result.failed,
-                      result.timeout);
-        } else {
-          std::printf("  [%zu/%zu] %s %s: %s\n", result.executed,
-                      pending.size(), record.outcome.c_str(),
-                      record.key.c_str(), record.error.c_str());
-        }
-        std::fflush(stdout);
-      }
-      staged.erase(it);
-      ++next_commit;
+  // Appends one completed record under `mu` (staged, not yet durable --
+  // the caller group-commits after releasing the lock).  Returns false
+  // once the stop_after budget is exhausted.
+  auto stage_locked = [&](unsigned shard, std::size_t task_index,
+                          const TaskRecord& record) -> bool {
+    if (options.stop_after > 0 && result.executed >= options.stop_after) {
+      result.stopped_early = true;
+      stop.cancel();
+      return false;
     }
+    writer.append(record);
+    terminal[task_index] = true;
+    while (low_water < tasks.size() && terminal[low_water]) ++low_water;
+    ++result.executed;
+    if (record.outcome == "ok") {
+      ++result.ok;
+    } else if (record.outcome == "timeout") {
+      ++result.timeout;
+    } else {
+      ++result.failed;
+    }
+    result.retried += static_cast<std::size_t>(record.attempts - 1);
+    if (options.progress != nullptr) {
+      trace::TraceEvent event;
+      event.step = result.executed - 1;
+      event.agent = shard;
+      event.kind = record.ok() ? trace::TraceEvent::Kind::TaskOk
+                               : trace::TraceEvent::Kind::TaskFail;
+      event.node = static_cast<graph::NodeId>(task_index);
+      options.progress->on_event(event);
+    }
+    if (options.echo_every > 0 &&
+        (!record.ok() || result.executed % options.echo_every == 0 ||
+         result.executed == pending.size())) {
+      if (record.ok()) {
+        std::printf("  [%zu/%zu] ok (%zu failed, %zu timeout)\n",
+                    result.executed, pending.size(), result.failed,
+                    result.timeout);
+      } else {
+        std::printf("  [%zu/%zu] %s %s: %s\n", result.executed,
+                    pending.size(), record.outcome.c_str(),
+                    record.key.c_str(), record.error.c_str());
+      }
+      std::fflush(stdout);
+    }
+    return true;
   };
 
   // Executes one slab on the batch backend; any task whose replica failed
@@ -253,11 +260,18 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                                        retries, timeout_seconds,
                                        options.deterministic));
       }
-      std::lock_guard<std::mutex> lock(mu);
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        staged.emplace(slots[i], std::make_pair(shard, std::move(records[i])));
+      bool staged_any = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          records[i].task_index = pending[slots[i]];
+          if (!stage_locked(shard, pending[slots[i]], records[i])) break;
+          staged_any = true;
+        }
       }
-      drain_commits_locked();
+      // Group commit outside the engine lock: the fdatasync for this
+      // slab coalesces with whatever sibling shards staged meanwhile.
+      if (staged_any) writer.commit();
     }
   };
 
@@ -270,6 +284,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     for (std::thread& th : pool) th.join();
   }
 
+  result.low_water = low_water;
   result.wall_seconds = seconds_since(wall0);
   if (options.progress != nullptr) {
     trace::RunSummary summary;

@@ -1,7 +1,15 @@
 #include "qelect/campaign/store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "qelect/campaign/json.hpp"
@@ -11,6 +19,20 @@ namespace qelect::campaign {
 
 namespace {
 
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Format constants.  See the store.hpp header comment for the layout.
+
+constexpr char kWalMagic[4] = {'Q', 'W', 'A', 'L'};
+constexpr char kSnapMagic[4] = {'Q', 'S', 'N', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint8_t kHeaderFrame = 1;
+constexpr std::uint8_t kTaskFrame = 2;
+// A frame larger than this is garbage, not a record (guards length-field
+// corruption from triggering huge allocations).
+constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
 std::string hash_hex(std::uint64_t h) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
@@ -18,8 +40,554 @@ std::string hash_hex(std::uint64_t h) {
   return buf;
 }
 
+/// Strict hex -> u64.  The legacy loader used strtoull with no error
+/// check, so a malformed spec_hash silently became 0 and surfaced as a
+/// misleading "different campaign spec" error; now it is a CheckError.
 std::uint64_t hash_from_hex(const std::string& hex) {
-  return std::strtoull(hex.c_str(), nullptr, 16);
+  QELECT_CHECK(!hex.empty() && hex.size() <= 16,
+               "malformed spec_hash '" + hex + "'");
+  std::uint64_t h = 0;
+  for (const char c : hex) {
+    QELECT_CHECK(std::isxdigit(static_cast<unsigned char>(c)),
+                 "malformed spec_hash '" + hex + "'");
+    h = h * 16 +
+        static_cast<std::uint64_t>(
+            c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected 0xEDB88320) -- the per-frame checksum.
+//
+// Slicing-by-8: eight derived tables let the loop fold 8 input bytes per
+// iteration with independent lookups instead of one serially-dependent
+// lookup per byte.  The checksum is in StoreWriter::append's critical
+// path, and byte-at-a-time CRC was ~2/3 of the whole append cost.
+
+using CrcTables = std::uint32_t[8][256];
+
+const CrcTables& crc_tables() {
+  static const CrcTables& tables = []() -> const CrcTables& {
+    static CrcTables t;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (int s = 1; s < 8; ++s) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[s][i] = t[s - 1][i] >> 8 ^ t[0][t[s - 1][i] & 0xFF];
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+std::uint32_t crc32(const char* data, std::size_t n,
+                    std::uint32_t crc = 0) {
+  const CrcTables& t = crc_tables();
+  crc = ~crc;
+  // The 8-wide loop loads the two words little-endian, matching the rest
+  // of the on-disk format (and the byte-at-a-time tail loop bit for bit).
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][lo >> 8 & 0xFF] ^ t[5][lo >> 16 & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][hi >> 8 & 0xFF] ^
+          t[1][hi >> 16 & 0xFF] ^ t[0][hi >> 24];
+    data += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = t[0][(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode/decode helpers.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked reader over a byte span; every getter returns false at
+/// the first malformed field so callers treat the frame as corrupt.
+struct Cursor {
+  const char* p;
+  std::size_t n;
+  std::size_t off = 0;
+
+  bool u8(std::uint8_t* v) {
+    if (off + 1 > n) return false;
+    *v = static_cast<std::uint8_t>(p[off]);
+    off += 1;
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (off + 4 > n) return false;
+    std::memcpy(v, p + off, 4);
+    off += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (off + 8 > n) return false;
+    std::memcpy(v, p + off, 8);
+    off += 8;
+    return true;
+  }
+  bool f64(double* v) {
+    if (off + 8 > n) return false;
+    std::memcpy(v, p + off, 8);
+    off += 8;
+    return true;
+  }
+  bool str(std::string* v) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > n - off) return false;
+    v->assign(p + off, len);
+    off += len;
+    return true;
+  }
+  bool done() const { return off == n; }
+};
+
+// ---------------------------------------------------------------------------
+// Record body encoding (shared by WAL task frames and snapshot entries).
+
+void encode_task_body(std::string& out, const TaskRecord& r) {
+  put_u64(out, r.task_index);
+  put_str(out, r.key);
+  put_str(out, r.outcome);
+  put_u32(out, static_cast<std::uint32_t>(r.attempts));
+  put_f64(out, r.duration_seconds);
+  put_str(out, r.error);
+  put_u32(out, static_cast<std::uint32_t>(r.metrics.size()));
+  for (const auto& [k, v] : r.metrics) {
+    put_str(out, k);
+    put_f64(out, v);
+  }
+}
+
+bool decode_task_body(Cursor& c, TaskRecord* r) {
+  std::uint32_t attempts = 0, metric_count = 0;
+  if (!c.u64(&r->task_index) || !c.str(&r->key) || !c.str(&r->outcome) ||
+      !c.u32(&attempts) || !c.f64(&r->duration_seconds) ||
+      !c.str(&r->error) || !c.u32(&metric_count)) {
+    return false;
+  }
+  r->attempts = static_cast<int>(attempts);
+  r->metrics.clear();
+  r->metrics.reserve(metric_count);
+  for (std::uint32_t i = 0; i < metric_count; ++i) {
+    std::string name;
+    double value = 0;
+    if (!c.str(&name) || !c.f64(&value)) return false;
+    r->metrics.emplace_back(std::move(name), value);
+  }
+  return true;
+}
+
+/// Encodes `r` as a complete task frame appended to `frames`, returning
+/// the span of the record body inside it.  Encodes straight into the
+/// arena -- frame header patched afterwards -- so appending a record
+/// costs no intermediate buffer.
+BodySpan append_task_frame(std::string& frames, const TaskRecord& r) {
+  const std::size_t frame_off = frames.size();
+  frames.append(8, '\0');  // payload_len + crc, patched below
+  frames.push_back(static_cast<char>(kTaskFrame));
+  const std::size_t body_off = frames.size();
+  encode_task_body(frames, r);
+  const auto body_len = static_cast<std::uint32_t>(frames.size() - body_off);
+  const std::uint32_t payload_len = body_len + 1;  // + type byte
+  const std::uint32_t crc = crc32(frames.data() + frame_off + 8, payload_len);
+  std::memcpy(&frames[frame_off], &payload_len, 4);
+  std::memcpy(&frames[frame_off + 4], &crc, 4);
+  return {body_off, body_len};
+}
+
+struct WalHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t generation = 1;
+  std::uint64_t base_records = 0;
+  StoreHeader header;
+};
+
+void encode_header_body(std::string& out, const WalHeader& h) {
+  put_u32(out, h.version);
+  put_u64(out, h.generation);
+  put_u64(out, h.base_records);
+  put_u64(out, h.header.spec_hash);
+  put_str(out, h.header.name);
+  put_str(out, h.header.spec_json);
+}
+
+bool decode_header_body(Cursor& c, WalHeader* h) {
+  return c.u32(&h->version) && c.u64(&h->generation) &&
+         c.u64(&h->base_records) && c.u64(&h->header.spec_hash) &&
+         c.str(&h->header.name) && c.str(&h->header.spec_json) && c.done();
+}
+
+/// Appends one framed payload (length + crc + payload) to `out`.
+void append_frame(std::string& out, const std::string& payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.append(payload);
+}
+
+/// Parses the frame at `off`.  Returns false when the bytes from `off` do
+/// not form a complete, checksummed frame (torn or corrupt tail).
+bool parse_frame(const std::string& data, std::size_t off,
+                 std::string_view* payload, std::size_t* next) {
+  if (off + 8 > data.size()) return false;
+  std::uint32_t len = 0, crc = 0;
+  std::memcpy(&len, data.data() + off, 4);
+  std::memcpy(&crc, data.data() + off + 4, 4);
+  if (len == 0 || len > kMaxFrameBytes || off + 8 + len > data.size()) {
+    return false;
+  }
+  if (crc32(data.data() + off + 8, len) != crc) return false;
+  *payload = std::string_view(data.data() + off + 8, len);
+  *next = off + 8 + len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// POSIX I/O helpers.  The durability contract is explicit fdatasync: a
+// stdio flush only reaches the OS page cache (the bug the JSONL store
+// shipped with), so every create/truncate/rename below syncs the file and
+// -- for directory-entry changes -- the parent directory.
+
+[[noreturn]] void sys_fail(const std::string& what, const std::string& path) {
+  throw CheckError("result store " + path + ": " + what + ": " +
+                   std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t n,
+               const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("write failed", path);
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fsync_dir_of(const std::string& path) {
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) sys_fail("cannot open parent directory", path);
+  if (::fsync(dfd) != 0) {
+    ::close(dfd);
+    sys_fail("fsync of parent directory failed", path);
+  }
+  ::close(dfd);
+}
+
+/// Atomically replaces `path` with `content`: tmp file, fdatasync,
+/// rename, parent-directory fsync.  A crash at any point leaves either
+/// the old file or the new one, never a mix.
+void replace_file_durably(const std::string& path,
+                          const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) sys_fail("cannot create " + tmp, path);
+  write_all(fd, content.data(), content.size(), path);
+  if (::fdatasync(fd) != 0) {
+    ::close(fd);
+    sys_fail("fdatasync failed", path);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    sys_fail("rename of " + tmp + " failed", path);
+  }
+  fsync_dir_of(path);
+}
+
+std::string read_file_or_empty(const std::string& path, bool* exists) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    *exists = false;
+    return {};
+  }
+  *exists = true;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot file: "QSNP" | body | u32 crc32(body), where body is
+// version/generation/spec identity/record count + length-prefixed task
+// bodies.  One whole-file checksum: a snapshot is written once and read
+// sequentially, so per-record CRCs would buy nothing.
+
+struct Snapshot {
+  std::uint64_t generation = 0;
+  StoreHeader header;
+  std::vector<TaskRecord> records;
+};
+
+bool load_snapshot(const std::string& snap_path, Snapshot* snap) {
+  bool exists = false;
+  const std::string data = read_file_or_empty(snap_path, &exists);
+  if (!exists) return false;
+  if (data.size() < 8 || std::memcmp(data.data(), kSnapMagic, 4) != 0) {
+    return false;
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (crc32(data.data() + 4, data.size() - 8) != stored_crc) return false;
+  Cursor c{data.data() + 4, data.size() - 8};
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t spec_hash = 0;
+  if (!c.u32(&version) || version != kFormatVersion ||
+      !c.u64(&snap->generation) || !c.u64(&spec_hash) ||
+      !c.str(&snap->header.name) || !c.str(&snap->header.spec_json) ||
+      !c.u64(&count)) {
+    return false;
+  }
+  snap->header.spec_hash = spec_hash;
+  snap->records.clear();
+  snap->records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    if (!c.u32(&len) || len > c.n - c.off) return false;
+    Cursor body{c.p + c.off, len};
+    TaskRecord r;
+    if (!decode_task_body(body, &r) || !body.done()) return false;
+    c.off += len;
+    snap->records.push_back(std::move(r));
+  }
+  return c.done();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy JSONL parsing (the pre-WAL store format).  Kept verbatim where
+// sound; the spec-extraction and spec_hash bugs are fixed (see the
+// json_member_span and hash_from_hex comments).
+
+void load_jsonl(const std::string& path, const std::string& content,
+                LoadedStore* store) {
+  store->format = LoadedStore::Format::Jsonl;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: a write was interrupted mid-line.
+      store->torn_tail = true;
+      break;
+    }
+    const std::string line = content.substr(pos, nl - pos);
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const CheckError&) {
+      // A complete but unparseable line can only be the torn tail of a
+      // crashed run if nothing follows it; anything earlier is corruption.
+      QELECT_CHECK(content.find_first_not_of(" \t\r\n", nl) ==
+                       std::string::npos,
+                   "result store " + path + ": corrupt interior line");
+      store->torn_tail = true;
+      break;
+    }
+    const std::string type = v.string_or("type", "");
+    if (first && type == "campaign") {
+      store->has_header = true;
+      store->header.name = v.string_or("name", "");
+      try {
+        store->header.spec_hash =
+            hash_from_hex(v.string_or("spec_hash", "0"));
+      } catch (const CheckError& e) {
+        throw CheckError("result store " + path + ": " + e.what());
+      }
+      const JsonValue* spec = v.find("spec");
+      if (spec != nullptr && !spec->is_null()) {
+        // Keep the spec's exact serialized bytes (it is canonical JSON).
+        // The value span comes from a structure-aware scan -- a raw
+        // find("\"spec\":") mis-extracted whenever the line was valid
+        // JSON but not in our canonical member order (or had trailing
+        // whitespace), silently corrupting the recovered spec.
+        std::size_t b = 0, e = 0;
+        QELECT_CHECK(json_member_span(line, "spec", &b, &e),
+                     "result store " + path + ": header has no spec");
+        store->header.spec_json = line.substr(b, e - b);
+      }
+    } else if (type == "task") {
+      TaskRecord r;
+      r.key = v.require("key").as_string();
+      r.outcome = v.string_or("outcome", "failed");
+      r.attempts = static_cast<int>(v.int_or("attempts", 1));
+      r.duration_seconds = v.number_or("duration_seconds", 0);
+      r.error = v.string_or("error", "");
+      if (const JsonValue* metrics = v.find("metrics")) {
+        for (const auto& [k, mv] : metrics->members()) {
+          r.metrics.emplace_back(k, mv.as_double());
+        }
+      }
+      // The JSONL store committed strictly in task order, so file
+      // position is the logical identity.
+      r.task_index = store->records.size();
+      store->records.push_back(std::move(r));
+    }
+    // Unknown record types are preserved bytes but ignored content.
+    first = false;
+    pos = nl + 1;
+    store->valid_bytes = pos;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL parsing.
+
+void load_wal(const std::string& path, const std::string& content,
+              LoadedStore* store) {
+  store->format = LoadedStore::Format::Wal;
+  std::size_t off = 4;  // past the magic
+  store->valid_bytes = off;
+
+  // Generation header first.  A torn header (frame runs past EOF) leaves
+  // an empty store the writer re-creates; a complete-but-corrupt one is
+  // an error, matching the legacy "corrupt interior line" rule.
+  WalHeader wal;
+  {
+    std::string_view payload;
+    std::size_t next = 0;
+    if (!parse_frame(content, off, &payload, &next)) {
+      store->torn_tail = content.size() > off;
+      store->valid_bytes = 4;
+      return;
+    }
+    QELECT_CHECK(!payload.empty() &&
+                     static_cast<std::uint8_t>(payload[0]) == kHeaderFrame,
+                 "result store " + path + ": first frame is not a header");
+    Cursor c{payload.data() + 1, payload.size() - 1};
+    QELECT_CHECK(decode_header_body(c, &wal),
+                 "result store " + path + ": corrupt generation header");
+    QELECT_CHECK(wal.version == kFormatVersion,
+                 "result store " + path + ": unsupported format version " +
+                     std::to_string(wal.version));
+    off = next;
+    store->valid_bytes = off;
+  }
+  store->has_header = true;
+  store->header = wal.header;
+  store->generation = wal.generation;
+
+  // Snapshot (required when the WAL was compacted against one).
+  const std::string snap_path = path + ".snap";
+  Snapshot snap;
+  bool snap_ok = load_snapshot(snap_path, &snap);
+  if (snap_ok) {
+    if (snap.header.spec_hash != wal.header.spec_hash ||
+        snap.generation < wal.generation) {
+      snap_ok = false;  // stale or foreign snapshot
+    } else {
+      QELECT_CHECK(snap.generation <= wal.generation + 1,
+                   "result store " + path + ": snapshot generation " +
+                       std::to_string(snap.generation) +
+                       " is ahead of log generation " +
+                       std::to_string(wal.generation) + " + 1");
+    }
+  }
+  QELECT_CHECK(snap_ok || wal.base_records == 0,
+               "result store " + path + ": the log was compacted but its "
+               "snapshot " + snap_path + " is missing or corrupt");
+  std::unordered_map<std::string, std::size_t> index_of;
+  if (snap_ok) {
+    store->pending_compaction = snap.generation == wal.generation + 1;
+    store->snapshot_records = snap.records.size();
+    QELECT_CHECK(store->pending_compaction ||
+                     snap.records.size() >= wal.base_records,
+                 "result store " + path + ": snapshot holds fewer records "
+                 "than the log was compacted against");
+    store->records = std::move(snap.records);
+    index_of.reserve(store->records.size());
+    for (std::size_t i = 0; i < store->records.size(); ++i) {
+      index_of.emplace(store->records[i].key, i);
+    }
+  }
+
+  // Task frames: the valid prefix ends at the first frame whose length or
+  // checksum fails (kill points fall between commits, so that tail was
+  // never acknowledged).
+  while (off < content.size()) {
+    std::string_view payload;
+    std::size_t next = 0;
+    if (!parse_frame(content, off, &payload, &next)) {
+      store->torn_tail = true;
+      break;
+    }
+    if (!payload.empty() &&
+        static_cast<std::uint8_t>(payload[0]) == kTaskFrame) {
+      Cursor c{payload.data() + 1, payload.size() - 1};
+      TaskRecord r;
+      if (!decode_task_body(c, &r) || !c.done()) {
+        store->torn_tail = true;
+        break;
+      }
+      // Later records win (replay over a superset snapshot after a crash
+      // mid-compaction dedups here).
+      const auto it = index_of.find(r.key);
+      if (it != index_of.end()) {
+        store->records[it->second] = std::move(r);
+      } else {
+        index_of.emplace(r.key, store->records.size());
+        store->records.push_back(std::move(r));
+      }
+    }
+    // Unknown frame types are preserved bytes but ignored content.
+    off = next;
+    store->valid_bytes = off;
+  }
+}
+
+std::size_t compute_low_water(const std::vector<TaskRecord>& records) {
+  std::vector<std::uint64_t> indexes;
+  indexes.reserve(records.size());
+  for (const TaskRecord& r : records) indexes.push_back(r.task_index);
+  std::sort(indexes.begin(), indexes.end());
+  std::size_t low = 0;
+  for (const std::uint64_t i : indexes) {
+    if (i == low) {
+      ++low;
+    } else if (i > low) {
+      break;
+    }
+  }
+  return low;
 }
 
 }  // namespace
@@ -65,71 +633,90 @@ std::unordered_map<std::string, const TaskRecord*> LoadedStore::by_key()
 
 LoadedStore load_store(const std::string& path) {
   LoadedStore store;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return store;
+  bool exists = false;
+  const std::string content = read_file_or_empty(path, &exists);
+  if (!exists) return store;
   store.exists = true;
 
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  std::size_t pos = 0;
-  bool first = true;
-  while (pos < content.size()) {
-    const std::size_t nl = content.find('\n', pos);
-    if (nl == std::string::npos) {
-      // No terminating newline: a write was interrupted mid-line.
-      store.torn_tail = true;
-      break;
-    }
-    const std::string line = content.substr(pos, nl - pos);
-    JsonValue v;
-    try {
-      v = parse_json(line);
-    } catch (const CheckError&) {
-      // A complete but unparseable line can only be the torn tail of a
-      // crashed run if nothing follows it; anything earlier is corruption.
-      QELECT_CHECK(content.find_first_not_of(" \t\r\n", nl) ==
-                       std::string::npos,
-                   "result store " + path + ": corrupt interior line");
-      store.torn_tail = true;
-      break;
-    }
-    const std::string type = v.string_or("type", "");
-    if (first && type == "campaign") {
-      store.has_header = true;
-      store.header.name = v.string_or("name", "");
-      store.header.spec_hash = hash_from_hex(v.string_or("spec_hash", "0"));
-      const JsonValue* spec = v.find("spec");
-      if (spec != nullptr && !spec->is_null()) {
-        // Keep the spec's exact serialized bytes (it is canonical JSON):
-        // everything after `"spec":` up to the closing brace of the line.
-        const std::size_t at = line.find("\"spec\":");
-        store.header.spec_json =
-            line.substr(at + 7, line.size() - (at + 7) - 1);
-      }
-    } else if (type == "task") {
-      TaskRecord r;
-      r.key = v.require("key").as_string();
-      r.outcome = v.string_or("outcome", "failed");
-      r.attempts = static_cast<int>(v.int_or("attempts", 1));
-      r.duration_seconds = v.number_or("duration_seconds", 0);
-      r.error = v.string_or("error", "");
-      if (const JsonValue* metrics = v.find("metrics")) {
-        for (const auto& [k, mv] : metrics->members()) {
-          r.metrics.emplace_back(k, mv.as_double());
-        }
-      }
-      store.records.push_back(std::move(r));
-    }
-    // Unknown record types are preserved bytes but ignored content.
-    first = false;
-    pos = nl + 1;
-    store.valid_bytes = pos;
+  if (content.size() >= 4 && std::memcmp(content.data(), kWalMagic, 4) == 0) {
+    load_wal(path, content, &store);
+  } else if (!content.empty() && content[0] == '{') {
+    load_jsonl(path, content, &store);
+  } else if (content.size() < 4 &&
+             std::memcmp(content.data(), kWalMagic, content.size()) == 0) {
+    // A crash inside the very first write can leave a bare magic prefix
+    // (including an empty file); nothing was committed.
+    store.torn_tail = !content.empty();
+  } else {
+    throw CheckError("result store " + path +
+                     ": neither a WAL nor a JSONL store");
   }
+  store.low_water = compute_low_water(store.records);
   return store;
 }
 
-StoreWriter::StoreWriter(const std::string& path, const StoreHeader& header)
-    : path_(path) {
+std::string store_to_jsonl(const LoadedStore& store) {
+  QELECT_CHECK(store.has_header,
+               "cannot export a store without a campaign header");
+  std::vector<const TaskRecord*> order;
+  order.reserve(store.records.size());
+  for (const TaskRecord& r : store.records) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const TaskRecord* a, const TaskRecord* b) {
+                     return a->task_index < b->task_index;
+                   });
+  std::string out = header_to_json(store.header);
+  out.push_back('\n');
+  for (const TaskRecord* r : order) {
+    out += r->to_json();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+void write_snapshot_arena(const std::string& snap_path,
+                          const StoreHeader& header, std::uint64_t generation,
+                          const std::string& frames,
+                          const std::vector<BodySpan>& spans) {
+  std::string body;
+  put_u32(body, kFormatVersion);
+  put_u64(body, generation);
+  put_u64(body, header.spec_hash);
+  put_str(body, header.name);
+  put_str(body, header.spec_json);
+  put_u64(body, spans.size());
+  for (const BodySpan& s : spans) {
+    put_u32(body, s.length);
+    body.append(frames.data() + s.offset, s.length);
+  }
+  std::string content(kSnapMagic, 4);
+  content += body;
+  put_u32(content, crc32(body.data(), body.size()));
+  replace_file_durably(snap_path, content);
+}
+
+}  // namespace
+
+void write_snapshot_file(const std::string& snap_path,
+                         const StoreHeader& header, std::uint64_t generation,
+                         const std::vector<TaskRecord>& records) {
+  std::string frames;
+  std::vector<BodySpan> spans;
+  spans.reserve(records.size());
+  for (const TaskRecord& r : records) {
+    spans.push_back(append_task_frame(frames, r));
+  }
+  write_snapshot_arena(snap_path, header, generation, frames, spans);
+}
+
+// ---------------------------------------------------------------------------
+// StoreWriter
+
+StoreWriter::StoreWriter(const std::string& path, const StoreHeader& header,
+                         StoreOptions options)
+    : path_(path), header_(header), options_(options) {
   const LoadedStore prior = load_store(path);
   if (prior.exists && prior.has_header) {
     QELECT_CHECK(prior.header.spec_hash == header.spec_hash,
@@ -137,28 +724,150 @@ StoreWriter::StoreWriter(const std::string& path, const StoreHeader& header)
                      " belongs to a different campaign spec (hash " +
                      hash_hex(prior.header.spec_hash) + " != " +
                      hash_hex(header.spec_hash) + ")");
-    if (prior.torn_tail) {
-      std::filesystem::resize_file(path, prior.valid_bytes);
+    spans_.reserve(prior.records.size());
+    for (const TaskRecord& r : prior.records) {
+      spans_.push_back(append_task_frame(frames_, r));
     }
-    out_.open(path, std::ios::binary | std::ios::app);
-    QELECT_CHECK(out_.is_open(), "cannot reopen result store " + path);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (prior.format == LoadedStore::Format::Jsonl) {
+      // Migrate in place: the whole legacy store becomes a fresh WAL
+      // (every record replayed into the log; no snapshot yet).
+      const std::string snap = path_ + ".snap";
+      if (fs::exists(snap)) fs::remove(snap);
+      open_fresh_locked(1, 0, /*write_records=*/true);
+      return;
+    }
+    generation_ = prior.generation;
+    snapshot_base_ = prior.snapshot_records;
+    if (prior.pending_compaction) {
+      // The snapshot landed but the crash beat the log rewrite: finish
+      // the compaction it started.
+      open_fresh_locked(prior.generation + 1, spans_.size(),
+                        /*write_records=*/false);
+      snapshot_base_ = spans_.size();
+      return;
+    }
+    fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND);
+    if (fd_ < 0) sys_fail("cannot reopen", path_);
+    if (prior.torn_tail) {
+      if (::ftruncate(fd_, static_cast<off_t>(prior.valid_bytes)) != 0) {
+        sys_fail("cannot truncate torn tail", path_);
+      }
+      if (::fdatasync(fd_) != 0) sys_fail("fdatasync failed", path_);
+    }
+    // Everything re-encoded into the arena is already durable (in the log
+    // tail or the snapshot); only frames appended from here on are owed
+    // to the file.
+    flushed_ = frames_.size();
+    synced_ = flushed_;
     return;
   }
   QELECT_CHECK(!prior.exists || prior.records.empty(),
                "result store " + path + " has records but no header");
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent);
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  QELECT_CHECK(out_.is_open(), "cannot create result store " + path);
-  out_ << header_to_json(header) << '\n';
-  out_.flush();
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+  const std::string snap = path_ + ".snap";
+  if (fs::exists(snap)) fs::remove(snap);  // orphan from an older campaign
+  std::lock_guard<std::mutex> lock(write_mu_);
+  open_fresh_locked(1, 0, /*write_records=*/false);
+}
+
+StoreWriter::~StoreWriter() {
+  try {
+    commit();
+  } catch (...) {
+    // Destructors must not throw; an uncommitted tail is a torn tail.
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StoreWriter::open_fresh_locked(std::uint64_t generation,
+                                    std::uint64_t base, bool write_records) {
+  std::string content(kWalMagic, 4);
+  WalHeader wal;
+  wal.generation = generation;
+  wal.base_records = base;
+  wal.header = header_;
+  std::string payload;
+  payload.push_back(static_cast<char>(kHeaderFrame));
+  encode_header_body(payload, wal);
+  append_frame(content, payload);
+  // The arena already holds every record as a complete frame, so a
+  // migrating rewrite is one concatenation.
+  if (write_records) content += frames_;
+  replace_file_durably(path_, content);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) sys_fail("cannot open", path_);
+  generation_ = generation;
+  // Staged frames the new file does not carry are covered by the snapshot
+  // (compaction snapshots everything known, flushed or not).
+  flushed_ = frames_.size();
+  synced_ = flushed_;
 }
 
 void StoreWriter::append(const TaskRecord& record) {
-  out_ << record.to_json() << '\n';
-  out_.flush();
-  QELECT_CHECK(out_.good(), "result store " + path_ + ": write failed");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  spans_.push_back(append_task_frame(frames_, record));
+  ++appended_since_compact_;
+}
+
+void StoreWriter::commit() {
+  std::uint64_t goal;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    goal = frames_.size();
+  }
+  {
+    std::lock_guard<std::mutex> sync(sync_mu_);
+    if (synced_ < goal) {
+      std::uint64_t target;
+      {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        if (flushed_ < frames_.size()) {
+          write_all(fd_, frames_.data() + flushed_, frames_.size() - flushed_,
+                    path_);
+          flushed_ = frames_.size();
+        }
+        target = flushed_;
+      }
+      if (::fdatasync(fd_) != 0) sys_fail("fdatasync failed", path_);
+      synced_ = target;
+    }
+  }
+  maybe_compact();
+}
+
+void StoreWriter::compact() {
+  std::lock_guard<std::mutex> sync(sync_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  write_snapshot_arena(path_ + ".snap", header_, generation_ + 1, frames_,
+                       spans_);
+  // Any staged-but-unflushed frames are covered by the snapshot; the new
+  // tail starts empty.
+  open_fresh_locked(generation_ + 1, spans_.size(),
+                    /*write_records=*/false);
+  snapshot_base_ = spans_.size();
+  appended_since_compact_ = 0;
+}
+
+void StoreWriter::maybe_compact() {
+  if (options_.compact_every == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    // Second clause keeps total snapshot work linear: compact only once
+    // the tail has outgrown the snapshot it would replace.
+    if (appended_since_compact_ < options_.compact_every ||
+        appended_since_compact_ < snapshot_base_) {
+      return;
+    }
+  }
+  compact();
+}
+
+std::size_t StoreWriter::record_count() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return spans_.size();
 }
 
 }  // namespace qelect::campaign

@@ -1,11 +1,15 @@
 // Campaign subsystem tests: deterministic expansion, spec round-trips, the
-// result store as a crash-tolerant checkpoint, kill/resume byte-equality,
+// result store as a crash-tolerant checkpoint, kill/resume logical
+// identity (asserted over the JSONL export, which sorts by task_index --
+// WAL bytes land in commit order and are not comparable across runs),
 // fault isolation (injected failures, timeouts), and the Table 1 matrix
 // agreeing with the directly computed verdicts.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -53,6 +57,25 @@ std::string slurp(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
+}
+
+/// The store's logical content: the JSONL export (header + records in
+/// task_index order).  Two stores with the same export are the same
+/// campaign state, whatever order their WAL frames landed in.
+std::string export_of(const std::string& path) {
+  return store_to_jsonl(load_store(path));
+}
+
+/// Byte offset just past the first `frames` WAL frames (the generation
+/// header counts as one), for staging kill points at frame boundaries.
+std::size_t wal_offset_after(const std::string& bytes, int frames) {
+  std::size_t off = 4;  // magic
+  for (int i = 0; i < frames; ++i) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + off, 4);
+    off += 8 + len;
+  }
+  return off;
 }
 
 /// Small, fast live-protocol campaign: ELECT on rings n in [3, 6] with
@@ -106,15 +129,16 @@ TEST(CampaignSpec, BuiltinsExpandAndHaveUniqueKeys) {
 
 TEST(CampaignStore, ToleratesTornTailAndResumesOverIt) {
   ScratchDir scratch("torn");
-  const std::string path = scratch.path("store.jsonl");
+  const std::string path = scratch.path("store.qws");
   const CampaignSpec spec = small_spec();
   EngineOptions opts;
   opts.deterministic = true;
   opts.shards = 2;
   run_campaign(spec, path, opts);
   const std::string clean = slurp(path);
+  const std::string clean_export = export_of(path);
 
-  // Tear the final line mid-record, as a crash mid-append would.
+  // Tear the final frame mid-record, as a crash mid-write would.
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << clean.substr(0, clean.size() - 17);
@@ -127,7 +151,7 @@ TEST(CampaignStore, ToleratesTornTailAndResumesOverIt) {
   const CampaignResult resumed = run_campaign(spec, path, opts);
   EXPECT_EQ(resumed.executed, 1u);
   EXPECT_EQ(resumed.skipped, resumed.total - 1);
-  EXPECT_EQ(slurp(path), clean);
+  EXPECT_EQ(export_of(path), clean_export);
 }
 
 TEST(CampaignStore, RejectsMismatchedSpec) {
@@ -139,10 +163,10 @@ TEST(CampaignStore, RejectsMismatchedSpec) {
   EXPECT_THROW(run_campaign(other, path, {}), CheckError);
 }
 
-TEST(CampaignEngine, KilledThenResumedStoreIsByteIdentical) {
+TEST(CampaignEngine, KilledThenResumedStoreIsLogicallyIdentical) {
   ScratchDir scratch("resume");
-  const std::string uninterrupted = scratch.path("full.jsonl");
-  const std::string killed = scratch.path("killed.jsonl");
+  const std::string uninterrupted = scratch.path("full.qws");
+  const std::string killed = scratch.path("killed.qws");
   const CampaignSpec spec = small_spec();
   EngineOptions opts;
   opts.deterministic = true;
@@ -151,48 +175,57 @@ TEST(CampaignEngine, KilledThenResumedStoreIsByteIdentical) {
   const CampaignResult full = run_campaign(spec, uninterrupted, opts);
   EXPECT_TRUE(full.complete());
   EXPECT_EQ(full.failed + full.timeout, 0u);
+  const std::string full_export = export_of(uninterrupted);
 
-  // Simulated kill after 13 commits: the store must be a clean prefix.
+  // Simulated kill after 13 commits: commits land out of order, so the
+  // surviving records are an arbitrary 13-task subset -- but each one must
+  // equal its counterpart in the uninterrupted run exactly.
   EngineOptions kill = opts;
   kill.stop_after = 13;
   const CampaignResult partial = run_campaign(spec, killed, kill);
   EXPECT_TRUE(partial.stopped_early);
   EXPECT_EQ(partial.executed, 13u);
-  const std::string full_bytes = slurp(uninterrupted);
-  const std::string prefix = slurp(killed);
-  EXPECT_LT(prefix.size(), full_bytes.size());
-  EXPECT_EQ(full_bytes.compare(0, prefix.size(), prefix), 0);
+  const LoadedStore killed_store = load_store(killed);
+  EXPECT_EQ(killed_store.records.size(), 13u);
+  const LoadedStore full_store = load_store(uninterrupted);
+  const auto full_by_key = full_store.by_key();
+  for (const TaskRecord& r : killed_store.records) {
+    const auto it = full_by_key.find(r.key);
+    ASSERT_NE(it, full_by_key.end()) << r.key;
+    EXPECT_EQ(r.to_json(), it->second->to_json());
+    EXPECT_EQ(r.task_index, it->second->task_index);
+  }
 
   // Resume: skips all 13 committed tasks, re-executes zero of them, and
-  // the merged store equals the uninterrupted run byte for byte.
+  // the merged store exports byte-identically to the uninterrupted run.
   const CampaignResult resumed = run_campaign(spec, killed, opts);
   EXPECT_EQ(resumed.skipped, 13u);
   EXPECT_EQ(resumed.executed, resumed.total - 13);
   EXPECT_TRUE(resumed.complete());
-  EXPECT_EQ(slurp(killed), full_bytes);
+  EXPECT_EQ(resumed.low_water, resumed.total);
+  EXPECT_EQ(export_of(killed), full_export);
 
   // Resuming a complete store is a no-op that changes nothing.
   const CampaignResult noop = run_campaign(spec, killed, opts);
   EXPECT_EQ(noop.executed, 0u);
   EXPECT_EQ(noop.skipped, noop.total);
-  EXPECT_EQ(slurp(killed), full_bytes);
+  EXPECT_EQ(export_of(killed), full_export);
 }
 
-TEST(CampaignEngine, TruncationAtTaskBoundaryResumesByteIdentical) {
+TEST(CampaignEngine, TruncationAtFrameBoundaryResumesLogicallyIdentical) {
   ScratchDir scratch("truncate");
-  const std::string path = scratch.path("store.jsonl");
+  const std::string path = scratch.path("store.qws");
   const CampaignSpec spec = small_spec();
   EngineOptions opts;
   opts.deterministic = true;
   opts.shards = 3;
   run_campaign(spec, path, opts);
   const std::string full_bytes = slurp(path);
+  const std::string full_export = export_of(path);
 
-  // Chop the store to header + 7 records (a kill between appends).
-  std::size_t pos = 0;
-  for (int lines = 0; lines < 8; ++lines) {
-    pos = full_bytes.find('\n', pos) + 1;
-  }
+  // Chop the store to the generation header + 7 records (a kill between
+  // commits that happens to land on a frame boundary).
+  const std::size_t pos = wal_offset_after(full_bytes, 1 + 7);
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << full_bytes.substr(0, pos);
@@ -200,7 +233,7 @@ TEST(CampaignEngine, TruncationAtTaskBoundaryResumesByteIdentical) {
   const CampaignResult resumed = run_campaign(spec, path, opts);
   EXPECT_EQ(resumed.skipped, 7u);
   EXPECT_EQ(resumed.executed, resumed.total - 7);
-  EXPECT_EQ(slurp(path), full_bytes);
+  EXPECT_EQ(export_of(path), full_export);
 }
 
 TEST(CampaignEngine, InjectedFailureIsRetriedThenSucceeds) {
@@ -359,7 +392,7 @@ TEST(CampaignSpec, CounterSchedulerRoundTrips) {
 
 TEST(CampaignEngine, BatchBackendStoreMatchesScalarByteForByte) {
   // The batch backend's defining guarantee: same tasks, same records.
-  // Deterministic mode zeroes durations, so the stores must be identical
+  // Deterministic mode zeroes durations, so the exports must be identical
   // bytes -- across every scheduler the batch engine supports.
   for (const std::string scheduler :
        {"random", "round-robin", "lockstep", "counter"}) {
@@ -371,29 +404,30 @@ TEST(CampaignEngine, BatchBackendStoreMatchesScalarByteForByte) {
     options.deterministic = true;
     options.shards = 2;
 
-    const std::string scalar_store = scratch.path("scalar.jsonl");
+    const std::string scalar_store = scratch.path("scalar.qws");
     run_campaign(spec, scalar_store, options);
 
     spec.backend = "batch";
-    const std::string batch_store = scratch.path("batch.jsonl");
+    const std::string batch_store = scratch.path("batch.qws");
     const CampaignResult result = run_campaign(spec, batch_store, options);
     EXPECT_TRUE(result.complete()) << scheduler;
     EXPECT_EQ(result.failed, 0u) << scheduler;
 
     // Store headers differ (the batch spec embeds its backend); every
-    // record line after the header must match exactly.
-    const std::string scalar_bytes = slurp(scalar_store);
-    const std::string batch_bytes = slurp(batch_store);
-    EXPECT_EQ(scalar_bytes.substr(scalar_bytes.find('\n')),
-              batch_bytes.substr(batch_bytes.find('\n')))
+    // exported record line after the header must match exactly.
+    const std::string scalar_text = export_of(scalar_store);
+    const std::string batch_text = export_of(batch_store);
+    EXPECT_EQ(scalar_text.substr(scalar_text.find('\n')),
+              batch_text.substr(batch_text.find('\n')))
         << scheduler;
   }
 }
 
-TEST(CampaignEngine, BatchBackendKilledThenResumedIsByteIdentical) {
-  // Slab claiming must preserve the engine's crash contract: records land
-  // in task order, so a stop_after kill leaves a clean prefix and resuming
-  // (which re-slabs only the pending suffix) appends exactly the rest.
+TEST(CampaignEngine, BatchBackendKilledThenResumedIsLogicallyIdentical) {
+  // Slab claiming must preserve the engine's crash contract: a stop_after
+  // kill leaves a store holding exactly 5 records whose logical identity
+  // matches the uninterrupted run, and resuming (which re-slabs only the
+  // pending suffix) produces the identical export.
   ScratchDir scratch("batch_resume");
   CampaignSpec spec = small_spec();
   spec.backend = "batch";
@@ -401,22 +435,27 @@ TEST(CampaignEngine, BatchBackendKilledThenResumedIsByteIdentical) {
   EngineOptions options;
   options.deterministic = true;
 
-  const std::string uninterrupted = scratch.path("full.jsonl");
+  const std::string uninterrupted = scratch.path("full.qws");
   run_campaign(spec, uninterrupted, options);
-  const std::string full_bytes = slurp(uninterrupted);
+  const std::string full_export = export_of(uninterrupted);
 
-  const std::string killed = scratch.path("killed.jsonl");
+  const std::string killed = scratch.path("killed.qws");
   EngineOptions stop = options;
   stop.stop_after = 5;
   const CampaignResult partial = run_campaign(spec, killed, stop);
   EXPECT_TRUE(partial.stopped_early);
-  const std::string prefix = slurp(killed);
-  EXPECT_LT(prefix.size(), full_bytes.size());
-  EXPECT_EQ(full_bytes.compare(0, prefix.size(), prefix), 0);
+  const LoadedStore full_store = load_store(uninterrupted);
+  const auto full_by_key = full_store.by_key();
+  const LoadedStore killed_store = load_store(killed);
+  for (const TaskRecord& r : killed_store.records) {
+    const auto it = full_by_key.find(r.key);
+    ASSERT_NE(it, full_by_key.end()) << r.key;
+    EXPECT_EQ(r.to_json(), it->second->to_json());
+  }
 
   const CampaignResult resumed = run_campaign(spec, killed, options);
   EXPECT_TRUE(resumed.complete());
-  EXPECT_EQ(slurp(killed), full_bytes);
+  EXPECT_EQ(export_of(killed), full_export);
 }
 
 TEST(CampaignEngine, BatchStatsCountSlabsAndReplicas) {

@@ -1,0 +1,498 @@
+// Store crash-injection suite: the WAL's recovery contract checked the
+// hard way.  Every test drives StoreWriter/load_store directly with
+// synthetic records (no simulator in the loop), so the truncation sweep
+// can afford to chop the file at EVERY byte offset and resume from each
+// wreck, and the byte-flip sweep can corrupt every byte and watch the CRC
+// reject it.  The invariant under test throughout: recovery yields an
+// exact logical prefix of what was committed -- never a garbled record,
+// never a record from beyond the first broken frame -- and the JSONL
+// export of the recovered+resumed store is byte-identical to an
+// uninterrupted run's.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qelect/campaign/json.hpp"
+#include "qelect/campaign/store.hpp"
+#include "qelect/util/assert.hpp"
+
+namespace qelect::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  fs::path dir;
+  explicit ScratchDir(const std::string& name)
+      : dir(fs::temp_directory_path() /
+            ("qelect_store_test_" + name + std::to_string(::getpid()))) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~ScratchDir() { fs::remove_all(dir); }
+  std::string path(const std::string& file) const {
+    return (dir / file).string();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+StoreHeader test_header() {
+  StoreHeader h;
+  h.name = "store-suite";
+  h.spec_hash = 0x00c0ffee12345678ull;
+  h.spec_json = R"({"name":"store-suite","workload":"elect"})";
+  return h;
+}
+
+/// Synthetic record `i`: varied outcomes, metrics, and error text so the
+/// encoder exercises every field (including embedded quotes).
+TaskRecord test_record(std::uint64_t i) {
+  TaskRecord r;
+  r.task_index = i;
+  r.key = "elect/synthetic(" + std::to_string(i) + ")/p=0/s=1";
+  r.attempts = static_cast<int>(i % 3) + 1;
+  r.duration_seconds = 0;
+  if (i % 5 == 4) {
+    r.outcome = "failed";
+    r.error = "injected \"quoted\" failure #" + std::to_string(i);
+  } else {
+    r.outcome = "ok";
+    r.metrics.emplace_back("n", static_cast<double>(i));
+    r.metrics.emplace_back("moves", static_cast<double>(i * 7 + 1));
+    r.metrics.emplace_back("clean_election", i % 2 ? 1.0 : 0.0);
+  }
+  return r;
+}
+
+std::vector<TaskRecord> test_records(std::size_t n) {
+  std::vector<TaskRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(test_record(i));
+  return out;
+}
+
+/// Writes a fresh WAL store holding records 0..n-1, committed durably.
+void write_store(const std::string& path, std::size_t n) {
+  StoreWriter writer(path, test_header());
+  for (const TaskRecord& r : test_records(n)) writer.append(r);
+  writer.commit();
+}
+
+/// The export a store holding the first `k` synthetic records produces.
+std::string expected_export(std::size_t k) {
+  std::string out = header_to_json(test_header());
+  out.push_back('\n');
+  for (std::size_t i = 0; i < k; ++i) {
+    out += test_record(i).to_json();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(WalStore, RoundTripsRecordsAndHeader) {
+  ScratchDir scratch("roundtrip");
+  const std::string path = scratch.path("s.qws");
+  write_store(path, 25);
+  const LoadedStore store = load_store(path);
+  EXPECT_TRUE(store.exists);
+  EXPECT_TRUE(store.has_header);
+  EXPECT_EQ(store.format, LoadedStore::Format::Wal);
+  EXPECT_FALSE(store.torn_tail);
+  EXPECT_EQ(store.generation, 1u);
+  EXPECT_EQ(store.header.name, "store-suite");
+  EXPECT_EQ(store.header.spec_hash, test_header().spec_hash);
+  EXPECT_EQ(store.header.spec_json, test_header().spec_json);
+  ASSERT_EQ(store.records.size(), 25u);
+  EXPECT_EQ(store.low_water, 25u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(store.records[i].to_json(), test_record(i).to_json());
+    EXPECT_EQ(store.records[i].task_index, i);
+  }
+  EXPECT_EQ(store_to_jsonl(store), expected_export(25));
+}
+
+// The tentpole crash test: truncate the WAL at EVERY byte offset, load,
+// and check the recovery is an exact logical prefix; then resume (reopen
+// a writer, append what's missing, commit) and check the export equals an
+// uninterrupted run's, byte for byte.
+TEST(WalStore, TruncationSweepRecoversExactLogicalPrefix) {
+  ScratchDir scratch("truncsweep");
+  const std::string path = scratch.path("s.qws");
+  constexpr std::size_t kRecords = 12;
+  write_store(path, kRecords);
+  const std::string full = slurp(path);
+  const std::string full_export = expected_export(kRecords);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    spit(path, full.substr(0, cut));
+    const LoadedStore store = load_store(path);
+    EXPECT_TRUE(store.exists);
+    EXPECT_EQ(store.torn_tail, cut != full.size() && store.valid_bytes != cut)
+        << "cut=" << cut;
+    EXPECT_LE(store.valid_bytes, cut) << "cut=" << cut;
+    const std::size_t k = store.records.size();
+    ASSERT_LE(k, kRecords) << "cut=" << cut;
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(store.records[i].to_json(), test_record(i).to_json())
+          << "cut=" << cut << " record=" << i;
+    }
+    EXPECT_EQ(store.low_water, k) << "cut=" << cut;
+
+    // Resume over the wreck: the writer truncates the torn tail and the
+    // missing suffix is re-appended.
+    {
+      StoreWriter writer(path, test_header());
+      ASSERT_EQ(writer.record_count(), k) << "cut=" << cut;
+      for (std::size_t i = k; i < kRecords; ++i) {
+        writer.append(test_record(i));
+      }
+      writer.commit();
+    }
+    EXPECT_EQ(store_to_jsonl(load_store(path)), full_export)
+        << "cut=" << cut;
+  }
+}
+
+// Same sweep over the legacy JSONL format: the export path must recover
+// the identical logical prefix (complete lines) at every kill point.
+TEST(WalStore, JsonlTruncationSweepRecoversExactLogicalPrefix) {
+  ScratchDir scratch("jsonlsweep");
+  const std::string path = scratch.path("s.jsonl");
+  constexpr std::size_t kRecords = 8;
+  const std::string full = expected_export(kRecords);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    spit(path, full.substr(0, cut));
+    const LoadedStore store = load_store(path);
+    if (cut > 0) {
+      EXPECT_EQ(store.format, LoadedStore::Format::Jsonl);
+    }
+    const std::size_t k = store.records.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(store.records[i].to_json(), test_record(i).to_json())
+          << "cut=" << cut << " record=" << i;
+      ASSERT_EQ(store.records[i].task_index, i) << "cut=" << cut;
+    }
+    if (!store.has_header) {
+      EXPECT_EQ(k, 0u) << "cut=" << cut;
+      continue;
+    }
+    // Resume: the writer migrates the wreck to WAL, dropping the torn
+    // line; refilling the suffix must reproduce the full export.
+    {
+      StoreWriter writer(path, test_header());
+      for (std::size_t i = k; i < kRecords; ++i) {
+        writer.append(test_record(i));
+      }
+      writer.commit();
+    }
+    EXPECT_EQ(store_to_jsonl(load_store(path)), full) << "cut=" << cut;
+  }
+}
+
+// Flip every byte of the WAL in turn: the CRC (or the magic/header check)
+// must reject the damage.  Recovery may shorten the store -- the flipped
+// frame and everything after it is gone -- but every surviving record must
+// be exact, and a complete-but-corrupt interior is never silently used.
+TEST(WalStore, ByteFlipSweepNeverYieldsAGarbledRecord) {
+  ScratchDir scratch("flipsweep");
+  const std::string path = scratch.path("s.qws");
+  constexpr std::size_t kRecords = 10;
+  write_store(path, kRecords);
+  const std::string full = slurp(path);
+
+  for (std::size_t at = 0; at < full.size(); ++at) {
+    std::string damaged = full;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x41);
+    spit(path, damaged);
+    try {
+      const LoadedStore store = load_store(path);
+      ASSERT_LE(store.records.size(), kRecords) << "at=" << at;
+      for (std::size_t i = 0; i < store.records.size(); ++i) {
+        ASSERT_EQ(store.records[i].to_json(), test_record(i).to_json())
+            << "at=" << at << " record=" << i;
+      }
+    } catch (const CheckError&) {
+      // Damage to the magic or the generation header is fatal rather than
+      // recoverable; that is allowed, silence is not.
+    }
+  }
+}
+
+TEST(WalStore, CompactionMovesRecordsToSnapshotAndTrimsTheLog) {
+  ScratchDir scratch("compact");
+  const std::string path = scratch.path("s.qws");
+  {
+    StoreWriter writer(path, test_header());
+    for (std::size_t i = 0; i < 20; ++i) writer.append(test_record(i));
+    writer.commit();
+    const std::size_t before = slurp(path).size();
+    writer.compact();
+    EXPECT_EQ(writer.generation(), 2u);
+    // The rewritten log holds only the magic + generation header: loading
+    // now replays a 20-record snapshot plus an (empty) tail -- no rescan
+    // of the original frames.
+    EXPECT_LT(slurp(path).size(), before / 4);
+    for (std::size_t i = 20; i < 30; ++i) writer.append(test_record(i));
+    writer.commit();
+  }
+  const LoadedStore store = load_store(path);
+  EXPECT_EQ(store.generation, 2u);
+  EXPECT_EQ(store.snapshot_records, 20u);
+  EXPECT_FALSE(store.pending_compaction);
+  ASSERT_EQ(store.records.size(), 30u);
+  EXPECT_EQ(store.low_water, 30u);
+  EXPECT_EQ(store_to_jsonl(store), expected_export(30));
+}
+
+TEST(WalStore, InterruptedCompactionHealsOnReopen) {
+  ScratchDir scratch("healing");
+  const std::string path = scratch.path("s.qws");
+  write_store(path, 15);
+  // Stage the crash window: the snapshot (generation 2) landed, the log
+  // rewrite did not -- exactly what a kill between compact()'s two
+  // durable steps leaves behind.
+  write_snapshot_file(path + ".snap", test_header(), 2, test_records(15));
+
+  const LoadedStore before = load_store(path);
+  EXPECT_TRUE(before.pending_compaction);
+  EXPECT_EQ(before.generation, 1u);
+  ASSERT_EQ(before.records.size(), 15u);
+  EXPECT_EQ(store_to_jsonl(before), expected_export(15));
+
+  {
+    StoreWriter writer(path, test_header());  // reopen completes the job
+    EXPECT_EQ(writer.generation(), 2u);
+  }
+  const LoadedStore after = load_store(path);
+  EXPECT_FALSE(after.pending_compaction);
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_EQ(after.snapshot_records, 15u);
+  EXPECT_EQ(store_to_jsonl(after), expected_export(15));
+}
+
+TEST(WalStore, CompactedLogWithoutItsSnapshotIsFatal) {
+  ScratchDir scratch("nosnap");
+  const std::string path = scratch.path("s.qws");
+  {
+    StoreWriter writer(path, test_header());
+    for (std::size_t i = 0; i < 10; ++i) writer.append(test_record(i));
+    writer.commit();
+    writer.compact();
+  }
+  // Missing snapshot: the log alone cannot reconstruct the records.
+  fs::remove(path + ".snap");
+  EXPECT_THROW(load_store(path), CheckError);
+
+  // Corrupt snapshot: same verdict (never silently drop 10 records).
+  write_snapshot_file(path + ".snap", test_header(), 2, test_records(10));
+  std::string snap = slurp(path + ".snap");
+  snap[snap.size() / 2] = static_cast<char>(snap[snap.size() / 2] ^ 0x41);
+  spit(path + ".snap", snap);
+  EXPECT_THROW(load_store(path), CheckError);
+}
+
+TEST(WalStore, StaleSnapshotNextToAnUncompactedLogIsIgnored) {
+  ScratchDir scratch("stalesnap");
+  const std::string path = scratch.path("s.qws");
+  write_store(path, 5);
+  // A snapshot from some older world (generation 0 < log generation 1):
+  // the log owes it nothing (base_records == 0), so it is ignored.
+  write_snapshot_file(path + ".snap", test_header(), 0, test_records(3));
+  const LoadedStore store = load_store(path);
+  EXPECT_EQ(store.snapshot_records, 0u);
+  ASSERT_EQ(store.records.size(), 5u);
+  EXPECT_EQ(store_to_jsonl(store), expected_export(5));
+}
+
+TEST(WalStore, AutoCompactionTriggersDuringCommits) {
+  ScratchDir scratch("autocompact");
+  const std::string path = scratch.path("s.qws");
+  StoreOptions options;
+  options.compact_every = 16;
+  {
+    StoreWriter writer(path, test_header(), options);
+    for (std::size_t i = 0; i < 100; ++i) {
+      writer.append(test_record(i));
+      writer.commit();
+    }
+    EXPECT_GT(writer.generation(), 1u);
+  }
+  const LoadedStore store = load_store(path);
+  EXPECT_GT(store.snapshot_records, 0u);
+  ASSERT_EQ(store.records.size(), 100u);
+  EXPECT_EQ(store_to_jsonl(store), expected_export(100));
+}
+
+TEST(WalStore, LegacyJsonlStoreMigratesInPlaceAndExportsIdentically) {
+  ScratchDir scratch("migrate");
+  const std::string path = scratch.path("s.jsonl");
+  const std::string legacy_text = expected_export(9);
+  spit(path, legacy_text);
+
+  const LoadedStore before = load_store(path);
+  EXPECT_EQ(before.format, LoadedStore::Format::Jsonl);
+  ASSERT_EQ(before.records.size(), 9u);
+  EXPECT_EQ(store_to_jsonl(before), legacy_text);
+
+  {
+    StoreWriter writer(path, test_header());
+    EXPECT_EQ(writer.record_count(), 9u);
+    writer.append(test_record(9));
+    writer.commit();
+  }
+  const LoadedStore after = load_store(path);
+  EXPECT_EQ(after.format, LoadedStore::Format::Wal);
+  ASSERT_EQ(after.records.size(), 10u);
+  EXPECT_EQ(store_to_jsonl(after), expected_export(10));
+}
+
+// Regression for the strtoull bug: a malformed spec_hash used to parse as
+// 0 and surface later as a bogus "different campaign spec" mismatch.
+TEST(WalStore, MalformedLegacySpecHashIsRejectedUpFront) {
+  ScratchDir scratch("badhash");
+  const std::string path = scratch.path("s.jsonl");
+  for (const std::string bad : {"\"not-hex\"", "\"12345678901234567\"",
+                                "\"\"", "\"12g4\""}) {
+    spit(path,
+         "{\"type\":\"campaign\",\"name\":\"x\",\"spec_hash\":" + bad +
+             ",\"spec\":null}\n");
+    EXPECT_THROW(load_store(path), CheckError) << bad;
+  }
+  // Upper-case hex is valid.
+  spit(path,
+       "{\"type\":\"campaign\",\"name\":\"x\",\"spec_hash\":\"00C0FFEE\","
+       "\"spec\":null}\n");
+  EXPECT_EQ(load_store(path).header.spec_hash, 0xc0ffeeu);
+}
+
+// Regression for the raw find("\"spec\":") bug: the spec must be located
+// structurally, so lookalike bytes inside other members' strings and
+// non-canonical member order cannot corrupt the recovered spec.
+TEST(WalStore, LegacySpecExtractionIsStructureAware) {
+  ScratchDir scratch("specspan");
+  const std::string path = scratch.path("s.jsonl");
+  const std::string spec = R"({"name":"evil","workload":"elect"})";
+  // The name's escaped quotes decode to the bytes "spec": -- a raw
+  // substring search would lock onto them and mis-slice the line.
+  spit(path,
+       "{\"type\":\"campaign\",\"name\":\"evil \\\"spec\\\": here\","
+       "\"spec_hash\":\"ff\",\"spec\":" + spec + "}\n");
+  EXPECT_EQ(load_store(path).header.spec_json, spec);
+
+  // Valid JSON, non-canonical member order: spec first.
+  spit(path,
+       "{\"spec\":" + spec +
+           ",\"type\":\"campaign\",\"name\":\"x\",\"spec_hash\":\"ff\"}\n");
+  EXPECT_EQ(load_store(path).header.spec_json, spec);
+}
+
+TEST(JsonMemberSpan, FindsValuesAndRejectsNonObjects) {
+  // "a"'s string value carries brace, bracket, and "b": lookalikes that a
+  // byte-level search would trip over.
+  const std::string text =
+      R"({"a":"{\"b\":[1,","b":[1,{"c":2}],"d":{"e":"}"},"f":3.5})";
+  std::size_t b = 0, e = 0;
+  ASSERT_TRUE(json_member_span(text, "b", &b, &e));
+  EXPECT_EQ(text.substr(b, e - b), R"([1,{"c":2}])");
+  ASSERT_TRUE(json_member_span(text, "d", &b, &e));
+  EXPECT_EQ(text.substr(b, e - b), R"({"e":"}"})");
+  ASSERT_TRUE(json_member_span(text, "f", &b, &e));
+  EXPECT_EQ(text.substr(b, e - b), "3.5");
+  EXPECT_FALSE(json_member_span(text, "c", &b, &e));  // nested, not top-level
+  EXPECT_FALSE(json_member_span("{}", "a", &b, &e));
+  EXPECT_THROW(json_member_span("[1,2]", "a", &b, &e), CheckError);
+}
+
+TEST(WalStore, ExportOrdersByTaskIndexNotCommitOrder) {
+  ScratchDir scratch("ooo");
+  const std::string path = scratch.path("s.qws");
+  {
+    StoreWriter writer(path, test_header());
+    for (const std::uint64_t i : {3u, 0u, 2u, 1u}) {
+      writer.append(test_record(i));
+    }
+    writer.commit();
+  }
+  const LoadedStore store = load_store(path);
+  EXPECT_EQ(store.low_water, 4u);
+  EXPECT_EQ(store_to_jsonl(store), expected_export(4));
+  // Commit order is preserved in the loaded records themselves.
+  EXPECT_EQ(store.records[0].task_index, 3u);
+}
+
+TEST(WalStore, LowWaterStopsAtTheFirstGap) {
+  ScratchDir scratch("lowwater");
+  const std::string path = scratch.path("s.qws");
+  {
+    StoreWriter writer(path, test_header());
+    for (const std::uint64_t i : {0u, 1u, 2u, 5u, 6u}) {
+      writer.append(test_record(i));
+    }
+    writer.commit();
+  }
+  EXPECT_EQ(load_store(path).low_water, 3u);
+}
+
+// The group-commit path under real contention (this is the TSan target):
+// concurrent appenders + committers must never lose a record, and every
+// commit() must return only after its records are flushed.
+TEST(WalStore, ConcurrentAppendAndGroupCommitLosesNothing) {
+  ScratchDir scratch("threads");
+  const std::string path = scratch.path("s.qws");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 200;
+  {
+    StoreWriter writer(path, test_header());
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          writer.append(test_record(t * kPerThread + i));
+          if (i % 17 == 0) writer.commit();
+        }
+        writer.commit();
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    EXPECT_EQ(writer.record_count(), kThreads * kPerThread);
+  }
+  const LoadedStore store = load_store(path);
+  ASSERT_EQ(store.records.size(), kThreads * kPerThread);
+  EXPECT_EQ(store.low_water, kThreads * kPerThread);
+  EXPECT_EQ(store_to_jsonl(store),
+            expected_export(kThreads * kPerThread));
+}
+
+TEST(WalStore, WriterRefusesAForeignSpecHash) {
+  ScratchDir scratch("foreign");
+  const std::string path = scratch.path("s.qws");
+  write_store(path, 3);
+  StoreHeader other = test_header();
+  other.spec_hash ^= 1;
+  EXPECT_THROW(StoreWriter(path, other), CheckError);
+}
+
+}  // namespace
+}  // namespace qelect::campaign

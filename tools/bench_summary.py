@@ -11,10 +11,11 @@ measurement bug, so the script warns -- and marks the summary -- when the
 per-file config hashes disagree, and when any file was produced in smoke
 mode (QELECT_BENCH_SMOKE=1), whose timings are single uncalibrated runs.
 
-Campaign result stores (*.results.jsonl and campaign_*/results.jsonl, the
-append-only JSONL files written by `qelect run` and the campaign-routed
-benches; schema in docs/CAMPAIGNS.md) are folded into a `campaigns`
-section: per-store task/outcome/retry counts, with warnings for failed or
+Campaign result stores -- binary WAL stores (*.results.qws and
+campaign_*/results.qws, snapshot + frame log; format in docs/STORAGE.md)
+and legacy JSONL stores (*.results.jsonl and campaign_*/results.jsonl;
+schema in docs/CAMPAIGNS.md) -- are folded into a `campaigns` section:
+per-store task/outcome/retry counts, with warnings for failed or
 timed-out tasks and torn tails.
 
 Exit status is 0 even on warnings by default: CI archives smoke-mode
@@ -28,7 +29,9 @@ import argparse
 import glob
 import json
 import os
+import struct
 import sys
+import zlib
 
 
 def load(path):
@@ -40,13 +43,8 @@ def load(path):
     return data
 
 
-def load_campaign(path):
-    """Parse one campaign result store into a summary dict.
-
-    Tolerates a torn final line (a kill mid-append leaves one); any other
-    malformed line is an error, mirroring campaign::load_store.
-    """
-    summary = {
+def _empty_campaign_summary(path):
+    return {
         "store": path,
         "campaign": None,
         "spec_hash": None,
@@ -57,8 +55,115 @@ def load_campaign(path):
         "retries": 0,
         "torn_tail": False,
     }
+
+
+def _wal_str(buf, off):
+    if off + 4 > len(buf):
+        raise ValueError("truncated string")
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    if off + n > len(buf):
+        raise ValueError("truncated string")
+    return buf[off:off + n].decode("utf-8", "replace"), off + n
+
+
+def _wal_task(payload):
+    """Decode a type-2 (task) frame payload into a record dict."""
+    idx, = struct.unpack_from("<Q", payload, 1)
+    key, off = _wal_str(payload, 9)
+    outcome, off = _wal_str(payload, off)
+    attempts, = struct.unpack_from("<I", payload, off)
+    off += 12  # u32 attempts + f64 duration_seconds
+    error, off = _wal_str(payload, off)
+    return {"task_index": idx, "key": key, "outcome": outcome,
+            "attempts": attempts, "error": error}
+
+
+def _wal_bytes(buf, off):
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    if off + n > len(buf):
+        raise ValueError("truncated entry")
+    return buf[off:off + n], off + n
+
+
+def _load_snapshot_tasks(snap_path):
+    """Records from a <store>.snap file ("QSNP" | body | crc32(body))."""
+    with open(snap_path, "rb") as f:
+        raw = f.read()
+    if raw[:4] != b"QSNP" or len(raw) < 8:
+        raise ValueError(f"{snap_path}: not a snapshot")
+    body, crc = raw[4:-4], struct.unpack("<I", raw[-4:])[0]
+    if zlib.crc32(body) != crc:
+        raise ValueError(f"{snap_path}: checksum mismatch")
+    off = 4 + 8 + 8  # u32 version, u64 generation, u64 spec_hash
+    _name, off = _wal_str(body, off)
+    _spec, off = _wal_str(body, off)
+    count, = struct.unpack_from("<Q", body, off)
+    off += 8
+    tasks = []
+    for _ in range(count):
+        entry, off = _wal_bytes(body, off)
+        tasks.append(_wal_task(b"\x02" + entry))
+    return tasks
+
+
+def load_wal_campaign(path, raw):
+    """Parse one binary WAL store (docs/STORAGE.md) into a summary dict.
+
+    Mirrors campaign::load_store: the log's valid prefix ends at the first
+    frame with a bad length or checksum (torn tail); a compacted store's
+    records come from <path>.snap plus the replayed tail; later records for
+    a key win.
+    """
+    summary = _empty_campaign_summary(path)
+    by_key = {}
+    off, header_seen, base_records = 4, False, 0
+    while off < len(raw):
+        if off + 8 > len(raw):
+            summary["torn_tail"] = True
+            break
+        length, crc = struct.unpack_from("<II", raw, off)
+        payload = raw[off + 8:off + 8 + length]
+        if length == 0 or len(payload) < length or zlib.crc32(payload) != crc:
+            summary["torn_tail"] = True
+            break
+        off += 8 + length
+        if payload[0] == 1 and not header_seen:
+            header_seen = True
+            _ver, _gen, base_records, spec_hash = struct.unpack_from(
+                "<IQQQ", payload, 1)
+            summary["campaign"], _ = _wal_str(payload, 29)
+            summary["spec_hash"] = f"{spec_hash:016x}"
+        elif payload[0] == 2:
+            rec = _wal_task(payload)
+            by_key[rec["key"]] = rec
+    if base_records > 0:
+        snap_tasks = _load_snapshot_tasks(path + ".snap")
+        merged = {rec["key"]: rec for rec in snap_tasks}
+        merged.update(by_key)
+        by_key = merged
+    for rec in by_key.values():
+        summary["tasks"] += 1
+        outcome = rec["outcome"]
+        key = outcome if outcome in ("ok", "failed", "timeout") else "failed"
+        summary[key] += 1
+        summary["retries"] += max(0, rec["attempts"] - 1)
+    return summary
+
+
+def load_campaign(path):
+    """Parse one campaign result store (WAL or legacy JSONL) into a
+    summary dict.
+
+    JSONL: tolerates a torn final line (a kill mid-append leaves one); any
+    other malformed line is an error, mirroring campaign::load_store.
+    """
     with open(path, "rb") as f:
         raw = f.read()
+    if raw[:4] == b"QWAL":
+        return load_wal_campaign(path, raw)
+    summary = _empty_campaign_summary(path)
     lines = raw.split(b"\n")
     if lines and lines[-1] == b"":
         lines.pop()
@@ -87,13 +192,15 @@ def load_campaign(path):
 
 def collect_campaigns(root):
     paths = sorted(
-        glob.glob(os.path.join(root, "*.results.jsonl"))
+        glob.glob(os.path.join(root, "*.results.qws"))
+        + glob.glob(os.path.join(root, "campaign_*", "results.qws"))
+        + glob.glob(os.path.join(root, "*.results.jsonl"))
         + glob.glob(os.path.join(root, "campaign_*", "results.jsonl")))
     summaries, warnings = [], []
     for path in paths:
         try:
             summaries.append(load_campaign(path))
-        except (ValueError, OSError) as e:
+        except (ValueError, OSError, struct.error) as e:
             warnings.append(f"skipping campaign store {path}: {e}")
             continue
         s = summaries[-1]
@@ -145,6 +252,7 @@ def main():
     speedups = {}
     baseline_speedups = {}
     batch_speedups = {}
+    wal_speedups = {}
     regressions = []
     # Throughput counters paired with their committed baselines: simulator
     # moves/sec (BENCH_sim.json) and serving QPS (BENCH_serve.json).  The
@@ -159,6 +267,8 @@ def main():
         ("moves_per_second", "best_moves_per_second",
          "baseline_moves_per_second", "moves/s"),
         ("qps", "best_qps", "baseline_qps", "QPS"),
+        ("records_per_second", "best_records_per_second",
+         "baseline_records_per_second", "rec/s"),
     ]
     for b in benches:
         for c in b["cases"]:
@@ -194,6 +304,16 @@ def main():
             if identical is not None and identical != 1:
                 regressions.append(
                     f"{name}: batch and scalar verdicts DIVERGE")
+            # The WAL store's acceptance bar (bench_store): group-committed
+            # WAL appends must run >= 10x the per-record-durable JSONL
+            # writer it replaced, at matched durability.
+            wal_ratio = counters.get("wal_vs_jsonl")
+            if wal_ratio is not None:
+                wal_speedups[name] = wal_ratio
+                if not b["smoke"] and wal_ratio < 10.0:
+                    regressions.append(
+                        f"{name}: WAL commit is only {wal_ratio:.1f}x the "
+                        f"durable JSONL writer -- below the 10x bar")
     warnings.extend(regressions)
 
     summary = {
@@ -204,6 +324,7 @@ def main():
         "speedups_vs_seed": speedups,
         "speedups_vs_baseline": baseline_speedups,
         "batch_vs_scalar": batch_speedups,
+        "wal_vs_jsonl": wal_speedups,
         "campaigns": campaigns,
         "campaign_tasks": {
             "tasks": sum(c["tasks"] for c in campaigns),
@@ -237,6 +358,10 @@ def main():
     if batch_speedups:
         print("  batch_vs_scalar (lockstep backend vs scalar engine):")
         for k, v in sorted(batch_speedups.items()):
+            print(f"    {k:48s} {v:7.2f}x")
+    if wal_speedups:
+        print("  wal_vs_jsonl (group-committed WAL vs durable JSONL):")
+        for k, v in sorted(wal_speedups.items()):
             print(f"    {k:48s} {v:7.2f}x")
     if args.strict and regressions:
         print(f"bench_summary: --strict: {len(regressions)} regression(s)",

@@ -1,15 +1,20 @@
 // qelect: the unified campaign CLI.
 //
 //   qelect run <spec.json | builtin> [engine flags]   start / continue
-//   qelect resume <store.jsonl>      [engine flags]   continue from a store
-//   qelect status <store.jsonl>                       progress + failures
-//   qelect report <store.jsonl>                       paper-table report
+//   qelect resume <store>            [engine flags]   continue from a store
+//   qelect status <store>                             progress + failures
+//   qelect report <store>                             paper-table report
+//   qelect export <store> [--out F]                   store -> JSONL text
+//   qelect compact <store>                            snapshot + trim log
 //   qelect tasks  <spec.json | builtin>               print the expansion
 //   qelect list                                       built-in catalog
 //
 // `run` is idempotent: it loads the store first and only executes tasks
 // without a terminal record, so run and resume differ only in where the
 // spec comes from (resume reads it back out of the store header).
+// Stores are binary WAL files (see docs/STORAGE.md); `export` emits the
+// legacy JSONL text, byte-identical to what the pre-WAL store wrote for
+// deterministic runs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,16 +45,18 @@ int usage() {
       "usage: qelect <command> [args]\n"
       "\n"
       "  run <spec.json|builtin> [flags]   run (or continue) a campaign\n"
-      "  resume <store.jsonl> [flags]      continue from a result store\n"
-      "  status <store.jsonl>              progress and failure summary\n"
-      "  report <store.jsonl>              workload-specific report\n"
+      "  resume <store> [flags]            continue from a result store\n"
+      "  status <store>                    progress and failure summary\n"
+      "  report <store>                    workload-specific report\n"
+      "  export <store> [--out FILE]       dump the store as JSONL text\n"
+      "  compact <store>                   snapshot + reset the WAL tail\n"
       "  tasks <spec.json|builtin>         print the task expansion\n"
       "  list                              built-in campaign catalog\n"
       "  serve [flags]                     run the qelectd query server\n"
       "  query <opcode> [flags]            one request against a server\n"
       "\n"
       "engine flags (run/resume):\n"
-      "  --store PATH            result store (default campaign_<name>/results.jsonl)\n"
+      "  --store PATH            result store (default campaign_<name>/results.qws)\n"
       "  --shards N              worker shards (default: hardware concurrency)\n"
       "  --retries N             attempts beyond the first per task\n"
       "  --timeout-seconds S     cooperative per-attempt deadline\n"
@@ -57,7 +64,9 @@ int usage() {
       "  --deterministic         zero durations (byte-reproducible stores)\n"
       "  --stop-after N          commit N tasks then stop (simulated kill)\n"
       "  --progress-jsonl PATH   stream progress events to a JSONL trace\n"
-      "  --echo N                status line every N commits (default 20)\n");
+      "  --echo N                status line every N commits (default 20)\n"
+      "  --compact-every N       auto-snapshot after N appended records\n"
+      "                          (default 131072; 0 disables)\n");
   return 2;
 }
 
@@ -86,6 +95,7 @@ struct EngineFlags {
 EngineFlags parse_engine_flags(int argc, char** argv, int from) {
   EngineFlags flags;
   flags.options.echo_every = 20;
+  flags.options.compact_every = 131072;
   auto value = [&](int& i) -> std::string {
     QELECT_CHECK(i + 1 < argc,
                  std::string(argv[i]) + " needs a value");
@@ -114,6 +124,8 @@ EngineFlags parse_engine_flags(int argc, char** argv, int from) {
       flags.progress_jsonl = value(i);
     } else if (flag == "--echo") {
       flags.options.echo_every = std::stoul(value(i));
+    } else if (flag == "--compact-every") {
+      flags.options.compact_every = std::stoul(value(i));
     } else {
       throw CheckError("unknown flag '" + flag + "'");
     }
@@ -123,7 +135,7 @@ EngineFlags parse_engine_flags(int argc, char** argv, int from) {
 
 int run_with(const CampaignSpec& spec, EngineFlags flags) {
   if (flags.store.empty()) {
-    flags.store = "campaign_" + spec.name + "/results.jsonl";
+    flags.store = "campaign_" + spec.name + "/results.qws";
   }
   std::unique_ptr<trace::JsonlSink> progress;
   if (!flags.progress_jsonl.empty()) {
@@ -167,6 +179,50 @@ int cmd_resume(int argc, char** argv) {
   return run_with(spec, std::move(flags));
 }
 
+int cmd_export(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string store_path = argv[2];
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--out") {
+      QELECT_CHECK(i + 1 < argc, "--out needs a value");
+      out_path = argv[++i];
+    } else {
+      throw CheckError("unknown flag '" + flag + "'");
+    }
+  }
+  const auto store = campaign::load_store(store_path);
+  QELECT_CHECK(store.exists && store.has_header,
+               "no store at " + store_path);
+  const std::string text = campaign::store_to_jsonl(store);
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    QELECT_CHECK(out.good(), "cannot write " + out_path);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    QELECT_CHECK(out.good(), "write to " + out_path + " failed");
+    std::fprintf(stderr, "exported %zu records to %s\n",
+                 store.records.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compact(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string store_path = argv[2];
+  const auto store = campaign::load_store(store_path);
+  QELECT_CHECK(store.exists && store.has_header,
+               "no store at " + store_path);
+  campaign::StoreWriter writer(store_path, store.header);
+  writer.compact();
+  std::printf("compacted %s: %zu records -> generation %llu snapshot\n",
+              store_path.c_str(), writer.record_count(),
+              static_cast<unsigned long long>(writer.generation()));
+  return 0;
+}
+
 int cmd_tasks(int argc, char** argv) {
   if (argc < 3) return usage();
   const CampaignSpec spec = resolve_spec(argv[2]);
@@ -204,6 +260,8 @@ int main(int argc, char** argv) {
       campaign::print_report(argv[2]);
       return 0;
     }
+    if (command == "export") return cmd_export(argc, argv);
+    if (command == "compact") return cmd_compact(argc, argv);
     if (command == "tasks") return cmd_tasks(argc, argv);
     if (command == "list") return cmd_list();
     if (command == "serve") return tools::serve_main(argc, argv, 2);
