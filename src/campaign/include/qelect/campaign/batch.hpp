@@ -46,8 +46,8 @@ struct BatchStats {
 BatchStats& batch_stats();
 
 /// True when `spec` qualifies for slab execution: batch backend requested,
-/// elect workload, no fault injection, no per-attempt deadline, and a
-/// scheduler policy the batch engine supports.  `timeout_seconds` is the
+/// elect workload, no fail injection, no faults axis, no per-attempt
+/// deadline, and a scheduler policy the batch engine supports.  `timeout_seconds` is the
 /// engine-resolved value (options override applied).
 bool batch_eligible(const CampaignSpec& spec, double timeout_seconds);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "qelect/campaign/store.hpp"
+#include "qelect/fault/injector.hpp"
 
 namespace qelect::campaign {
 
@@ -68,14 +69,58 @@ std::vector<LandscapeRow> landscape_rows(const LoadedStore& store);
 /// plus a failures column when any task failed).
 void print_landscape(const std::vector<LandscapeRow>& rows);
 
+/// One (graph, fault point) cell of the degradation survival matrix.
+struct DegradationRow {
+  std::string graph;   // graph label, e.g. "ring(6)"
+  std::string fault;   // fault point label, e.g. "crash-0.01"
+  std::size_t tasks = 0;       // ok records folded into this cell
+  std::size_t failed = 0;      // records with a non-ok outcome
+  std::size_t completed = 0;
+  std::size_t correct = 0;     // survivor-oracle match (see workloads.cpp)
+  std::size_t violated = 0;    // invariant checker flagged the trace
+  std::size_t crashed = 0;     // crash-stopped agents, summed
+  std::size_t faults_injected = 0;
+  double mean_inflation = 0;   // mean moves / Theorem 3.1 budget
+  double max_inflation = 0;
+  /// First-violation histogram: violations whose diagnosed cause was fault
+  /// kind k (fault::kind_name order); `cause_none` counts violations with
+  /// no injected fault to blame (genuine model bugs).
+  std::size_t cause_hist[fault::kFaultKindCount] = {};
+  std::size_t cause_none = 0;
+
+  double survival() const {
+    return tasks == 0 ? 0 : static_cast<double>(correct) /
+                                static_cast<double>(tasks);
+  }
+};
+
+/// Folds the store's "degradation/..." records into survival-matrix rows,
+/// sorted by (graph label, fault label).
+std::vector<DegradationRow> degradation_rows(const LoadedStore& store);
+
+/// Prints the survival matrix as a TextTable plus a first-violation
+/// histogram line per row that has violations.
+void print_degradation(const std::vector<DegradationRow>& rows);
+
+/// The survival matrix as canonical JSON (one object with a "rows" array;
+/// what `qelect report --json` writes).
+std::string degradation_json(const std::string& campaign,
+                             const std::vector<DegradationRow>& rows);
+
 /// Prints a progress/outcome summary for any store: spec identity, task
 /// counts by outcome, retries, pending count against the re-expanded spec.
 void print_status(const std::string& store_path);
 
 /// Prints the workload-appropriate report for the store: the Table 1
 /// matrix for "table1" campaigns, the landscape table for "analyze", a
-/// per-graph moves-vs-budget table for "moves", and an outcome summary
-/// for everything else.
-void print_report(const std::string& store_path);
+/// per-graph moves-vs-budget table for "moves", the survival matrix for
+/// "degradation", and an outcome summary for everything else.  Throws
+/// CheckError (nonzero `qelect` exit) when the store's embedded spec no
+/// longer matches its recorded hash or the current built-in definition of
+/// the campaign -- a report over a stale store would silently mis-group.
+/// Non-empty `json_path` additionally writes the degradation survival
+/// matrix as JSON (degradation stores only).
+void print_report(const std::string& store_path,
+                  const std::string& json_path = {});
 
 }  // namespace qelect::campaign

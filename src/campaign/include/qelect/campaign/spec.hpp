@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "qelect/fault/plan.hpp"
 #include "qelect/graph/graph.hpp"
 
 namespace qelect::campaign {
@@ -65,6 +66,18 @@ struct FailInjection {
   bool operator==(const FailInjection&) const = default;
 };
 
+/// One point of the fault axis: a labeled FaultPlan.  A campaign with a
+/// non-empty `faults` axis runs every task grid point once per fault
+/// point; the label appears in task keys ("/f=<label>") and is the group
+/// key for the degradation report's survival matrix.  A point whose plan
+/// has every rate zero is the fault-free control row.
+struct FaultPoint {
+  std::string label;
+  fault::FaultPlan plan;
+
+  bool operator==(const FaultPoint&) const = default;
+};
+
 struct CampaignSpec {
   std::string name;
   /// Workload executed per task: "analyze" (feasibility classification),
@@ -86,6 +99,11 @@ struct CampaignSpec {
   double timeout_seconds = 0;        // cooperative per-attempt deadline; 0 = off
   double labeling_budget = 250000.0; // Theorem 2.1 exhaustive-search budget
   FailInjection inject;
+  /// Fault-injection axis (src/fault).  Empty (the default, and the only
+  /// value the pre-fault schema could express) is serialized as nothing at
+  /// all, so existing spec JSON -- and the spec hashes gating store resume
+  /// -- are byte-identical.
+  std::vector<FaultPoint> faults;
 
   bool operator==(const CampaignSpec&) const = default;
 

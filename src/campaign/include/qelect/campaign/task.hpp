@@ -52,6 +52,13 @@ struct TaskSpec {
   std::string scheduler = "random";
   std::size_t max_steps = 0;
   double labeling_budget = 250000.0;
+  /// Fault axis (campaigns with a non-empty `faults:` axis only): the
+  /// point's label (the "/f=<label>" key segment and report group key) and
+  /// its plan.  The executed plan derives a per-task fault seed from
+  /// (plan.fault_seed, key) so tasks draw independent Philox streams; see
+  /// workloads.cpp.
+  std::string fault_label;
+  fault::FaultPlan faults;
 };
 
 /// Expands a spec into its full task list.  Deterministic; throws

@@ -27,6 +27,9 @@ bool batch_eligible(const CampaignSpec& spec, double timeout_seconds) {
   if (spec.backend != "batch") return false;
   if (spec.workload != "elect") return false;
   if (!spec.inject.match.empty()) return false;
+  // Fault campaigns go through the scalar path: the slab engine has no
+  // injection hooks, and the per-task fault-seed derivation is scalar-only.
+  if (!spec.faults.empty()) return false;
   if (timeout_seconds > 0) return false;
   return spec.scheduler == "random" || spec.scheduler == "round-robin" ||
          spec.scheduler == "lockstep" || spec.scheduler == "counter";

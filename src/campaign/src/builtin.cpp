@@ -1,5 +1,7 @@
 #include "qelect/campaign/builtin.hpp"
 
+#include <sstream>
+
 #include "qelect/util/assert.hpp"
 
 namespace qelect::campaign {
@@ -72,11 +74,71 @@ CampaignSpec rings_smoke() {
   return spec;
 }
 
+/// One labeled point of a degradation fault axis with a single active rate.
+FaultPoint fault_point(const std::string& axis, double rate) {
+  FaultPoint point;
+  std::ostringstream label;
+  label << axis << '-' << rate;
+  point.label = label.str();
+  if (axis == "crash") point.plan.crash_rate = rate;
+  if (axis == "board") point.plan.sign_loss_rate = rate;
+  if (axis == "msg") point.plan.msg_loss_rate = rate;
+  if (axis == "edge") point.plan.edge_cut_rate = rate;
+  return point;
+}
+
+/// The survival-matrix sweep: ELECT with live fault injection over the
+/// ring / hypercube / torus / Cayley-circulant families, one single-axis
+/// fault point per (axis, rate) plus the zero-rate control row.  The
+/// degradation report folds the per-task records into P(correct), move
+/// inflation vs Theorem 3.1, and first-violation histograms.
+CampaignSpec degradation() {
+  CampaignSpec spec;
+  spec.name = "degradation";
+  spec.workload = "degradation";
+  spec.graphs.push_back({"ring", 6, 10, {}});
+  spec.graphs.push_back({"hypercube", 3, 3, {}});
+  spec.graphs.push_back({"torus", 0, 0, {3, 3}});
+  spec.graphs.push_back({"circulant", 0, 0, {8, 1, 2}});
+  spec.placements.mode = PlacementAxis::Mode::Random;
+  spec.placements.agents_min = 2;
+  spec.placements.agents_max = 3;
+  spec.placements.seeds = 2;
+  spec.color_seeds = {1, 2};
+  spec.max_steps = 200000;
+  spec.faults.push_back({"none", {}});
+  for (const char* axis : {"crash", "board", "msg", "edge"}) {
+    for (const double rate : {0.002, 0.01, 0.05}) {
+      spec.faults.push_back(fault_point(axis, rate));
+    }
+  }
+  return spec;
+}
+
+/// Tiny degradation sweep for CI smoke and kill/resume demos.
+CampaignSpec degradation_smoke() {
+  CampaignSpec spec;
+  spec.name = "degradation-smoke";
+  spec.workload = "degradation";
+  spec.graphs.push_back({"ring", 5, 6, {}});
+  spec.placements.mode = PlacementAxis::Mode::Random;
+  spec.placements.agents_min = 2;
+  spec.placements.agents_max = 2;
+  spec.placements.seeds = 2;
+  spec.color_seeds = {1, 2};
+  spec.max_steps = 100000;
+  spec.faults.push_back({"none", {}});
+  spec.faults.push_back(fault_point("crash", 0.01));
+  spec.faults.push_back(fault_point("edge", 0.01));
+  spec.faults.push_back(fault_point("msg", 0.01));
+  return spec;
+}
+
 }  // namespace
 
 std::vector<std::string> builtin_names() {
   return {"table1", "landscape", "landscape-n5", "th31a", "th31b",
-          "rings-smoke"};
+          "rings-smoke", "degradation", "degradation-smoke"};
 }
 
 bool is_builtin(const std::string& name) {
@@ -93,6 +155,8 @@ CampaignSpec builtin_spec(const std::string& name) {
   if (name == "th31a") return th31a();
   if (name == "th31b") return th31b();
   if (name == "rings-smoke") return rings_smoke();
+  if (name == "degradation") return degradation();
+  if (name == "degradation-smoke") return degradation_smoke();
   throw CheckError("unknown built-in campaign '" + name + "'");
 }
 

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
+#include "qelect/campaign/builtin.hpp"
+#include "qelect/campaign/json.hpp"
 #include "qelect/campaign/spec.hpp"
 #include "qelect/campaign/task.hpp"
 #include "qelect/campaign/workloads.hpp"
@@ -28,6 +32,14 @@ std::string graph_label_of(const std::string& key) {
   const std::size_t second = key.find('/', first + 1);
   if (second == std::string::npos) return key.substr(first + 1);
   return key.substr(first + 1, second - first - 1);
+}
+
+/// Trailing fault-point label: ".../f=crash-0.01" -> "crash-0.01"; empty
+/// for fault-free keys.
+std::string fault_label_of(const std::string& key) {
+  const std::size_t pos = key.rfind("/f=");
+  if (pos == std::string::npos) return {};
+  return key.substr(pos + 3);
 }
 
 /// First integer inside the label's parens: "ring(6)" -> 6,
@@ -262,6 +274,12 @@ void print_moves(const LoadedStore& store) {
   table.print();
 }
 
+/// Accumulator behind degradation_rows (sums before the mean is taken).
+struct DegradationAgg {
+  DegradationRow row;
+  double inflation_sum = 0;
+};
+
 /// Oracle-agreement summary for elect campaigns.
 void print_elect(const LoadedStore& store) {
   std::size_t total = 0, matches = 0, elected = 0;
@@ -278,6 +296,128 @@ void print_elect(const LoadedStore& store) {
 }
 
 }  // namespace
+
+std::vector<DegradationRow> degradation_rows(const LoadedStore& store) {
+  std::map<std::pair<std::string, std::string>, DegradationAgg> cells;
+  for (const TaskRecord& r : store.records) {
+    if (!starts_with(r.key, "degradation/")) continue;
+    const std::string graph = graph_label_of(r.key);
+    const std::string fault = fault_label_of(r.key);
+    DegradationAgg& agg = cells[{graph, fault}];
+    agg.row.graph = graph;
+    agg.row.fault = fault;
+    if (!r.ok()) {
+      ++agg.row.failed;
+      continue;
+    }
+    ++agg.row.tasks;
+    if (r.metric_or("completed", 0) == 1) ++agg.row.completed;
+    if (r.metric_or("correct", 0) == 1) ++agg.row.correct;
+    agg.row.crashed += static_cast<std::size_t>(r.metric_or("crashed", 0));
+    agg.row.faults_injected +=
+        static_cast<std::size_t>(r.metric_or("faults_total", 0));
+    const double inflation = r.metric_or("move_inflation", 0);
+    agg.inflation_sum += inflation;
+    agg.row.max_inflation = std::max(agg.row.max_inflation, inflation);
+    if (r.metric_or("violated", 0) == 1) {
+      ++agg.row.violated;
+      const double cause = r.metric_or("cause_kind", -1);
+      if (cause >= 0 && cause < fault::kFaultKindCount) {
+        ++agg.row.cause_hist[static_cast<std::size_t>(cause)];
+      } else {
+        ++agg.row.cause_none;
+      }
+    }
+  }
+  std::vector<DegradationRow> rows;
+  rows.reserve(cells.size());
+  for (auto& [key, agg] : cells) {
+    (void)key;
+    if (agg.row.tasks > 0) {
+      agg.row.mean_inflation =
+          agg.inflation_sum / static_cast<double>(agg.row.tasks);
+    }
+    rows.push_back(std::move(agg.row));
+  }
+  return rows;
+}
+
+void print_degradation(const std::vector<DegradationRow>& rows) {
+  bool any_failed = false;
+  for (const DegradationRow& row : rows) any_failed |= row.failed > 0;
+  std::vector<std::string> headers = {
+      "graph",   "fault",    "tasks",          "P(correct)", "completed",
+      "crashed", "injected", "mean infl", "max infl",   "violated"};
+  if (any_failed) headers.push_back("failed");
+  TextTable table("degradation survival matrix (vs Theorem 3.1 budget)",
+                  headers);
+  for (const DegradationRow& row : rows) {
+    char survival[32], mean_i[32], max_i[32];
+    std::snprintf(survival, sizeof survival, "%.2f", row.survival());
+    std::snprintf(mean_i, sizeof mean_i, "%.3f", row.mean_inflation);
+    std::snprintf(max_i, sizeof max_i, "%.3f", row.max_inflation);
+    std::vector<std::string> cells = {row.graph,
+                                      row.fault.empty() ? "-" : row.fault,
+                                      std::to_string(row.tasks),
+                                      survival,
+                                      std::to_string(row.completed),
+                                      std::to_string(row.crashed),
+                                      std::to_string(row.faults_injected),
+                                      mean_i,
+                                      max_i,
+                                      std::to_string(row.violated)};
+    if (any_failed) cells.push_back(std::to_string(row.failed));
+    table.add_row(cells);
+  }
+  table.print();
+  for (const DegradationRow& row : rows) {
+    if (row.violated == 0) continue;
+    std::printf("first violated assumption [%s %s]:", row.graph.c_str(),
+                row.fault.c_str());
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      if (row.cause_hist[k] == 0) continue;
+      std::printf(" %s=%zu", fault::kind_name(static_cast<fault::FaultKind>(k)),
+                  row.cause_hist[k]);
+    }
+    if (row.cause_none > 0) std::printf(" unattributed=%zu", row.cause_none);
+    std::printf("\n");
+  }
+}
+
+std::string degradation_json(const std::string& campaign,
+                             const std::vector<DegradationRow>& rows) {
+  std::ostringstream out;
+  out << "{\"campaign\":" << json_quote(campaign) << ",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DegradationRow& r = rows[i];
+    if (i > 0) out << ',';
+    out << "{\"graph\":" << json_quote(r.graph)
+        << ",\"fault\":" << json_quote(r.fault) << ",\"tasks\":" << r.tasks
+        << ",\"failed\":" << r.failed << ",\"completed\":" << r.completed
+        << ",\"correct\":" << r.correct
+        << ",\"survival\":" << json_number(r.survival())
+        << ",\"violated\":" << r.violated << ",\"crashed\":" << r.crashed
+        << ",\"faults_injected\":" << r.faults_injected
+        << ",\"mean_inflation\":" << json_number(r.mean_inflation)
+        << ",\"max_inflation\":" << json_number(r.max_inflation)
+        << ",\"first_violation\":{";
+    bool first = true;
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      if (r.cause_hist[k] == 0) continue;
+      if (!first) out << ',';
+      first = false;
+      out << json_quote(fault::kind_name(static_cast<fault::FaultKind>(k)))
+          << ':' << r.cause_hist[k];
+    }
+    if (r.cause_none > 0) {
+      if (!first) out << ',';
+      out << "\"unattributed\":" << r.cause_none;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
 
 void print_status(const std::string& store_path) {
   const LoadedStore store = load_store(store_path);
@@ -320,13 +460,33 @@ void print_status(const std::string& store_path) {
   if (out.failed + out.timeout > 0) print_failures(store, 10);
 }
 
-void print_report(const std::string& store_path) {
+void print_report(const std::string& store_path,
+                  const std::string& json_path) {
   const LoadedStore store = load_store(store_path);
   QELECT_CHECK(store.exists, "no store at " + store_path);
   QELECT_CHECK(store.has_header,
                "store " + store_path + " has no campaign header");
   const CampaignSpec spec =
       CampaignSpec::from_json_text(store.header.spec_json);
+  // A report over a stale store silently mis-groups, so mismatches are
+  // hard errors (nonzero qelect exit), not warnings.
+  QELECT_CHECK(
+      spec.spec_hash() == store.header.spec_hash,
+      "store " + store_path +
+          ": embedded spec does not hash to the recorded spec hash (the "
+          "header was edited or corrupted); re-run the campaign into a "
+          "fresh store");
+  if (is_builtin(store.header.name)) {
+    QELECT_CHECK(
+        builtin_spec(store.header.name).spec_hash() == store.header.spec_hash,
+        "store " + store_path + ": campaign '" + store.header.name +
+            "' no longer matches the registered built-in definition (the "
+            "catalog changed since this store was written); re-run the "
+            "campaign into a fresh store, or report it under a different "
+            "name");
+  }
+  QELECT_CHECK(json_path.empty() || spec.workload == "degradation",
+               "--json is only supported for degradation campaigns");
   if (spec.workload == "table1") {
     print_table1(table1_matrix(store));
   } else if (spec.workload == "analyze") {
@@ -335,6 +495,17 @@ void print_report(const std::string& store_path) {
     print_moves(store);
   } else if (spec.workload == "elect") {
     print_elect(store);
+  } else if (spec.workload == "degradation") {
+    const std::vector<DegradationRow> rows = degradation_rows(store);
+    print_degradation(rows);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::trunc);
+      QELECT_CHECK(out.good(), "cannot open " + json_path + " for writing");
+      out << degradation_json(store.header.name, rows) << '\n';
+      out.close();
+      QELECT_CHECK(out.good(), "failed writing " + json_path);
+      std::printf("survival matrix JSON written to %s\n", json_path.c_str());
+    }
   } else {
     const Outcomes out = count_outcomes(store);
     std::printf("%zu records: %zu ok, %zu failed, %zu timeout\n",

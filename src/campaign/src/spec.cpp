@@ -92,7 +92,29 @@ std::string CampaignSpec::to_json() const {
       << ",\"timeout_seconds\":" << json_number(timeout_seconds)
       << ",\"labeling_budget\":" << json_number(labeling_budget)
       << ",\"inject\":{\"match\":" << json_quote(inject.match)
-      << ",\"fail_attempts\":" << inject.fail_attempts << "}}";
+      << ",\"fail_attempts\":" << inject.fail_attempts << '}';
+  // Emitted only when non-empty so pre-fault spec JSON (and its hash,
+  // which gates store resume) is byte-identical.
+  if (!faults.empty()) {
+    out << ",\"faults\":[";
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const FaultPoint& f = faults[i];
+      if (i > 0) out << ',';
+      out << "{\"label\":" << json_quote(f.label)
+          << ",\"seed\":" << f.plan.fault_seed
+          << ",\"crash\":" << json_number(f.plan.crash_rate)
+          << ",\"sign_loss\":" << json_number(f.plan.sign_loss_rate)
+          << ",\"sign_dup\":" << json_number(f.plan.sign_dup_rate)
+          << ",\"msg_loss\":" << json_number(f.plan.msg_loss_rate)
+          << ",\"msg_dup\":" << json_number(f.plan.msg_dup_rate)
+          << ",\"msg_delay\":" << json_number(f.plan.msg_delay_rate)
+          << ",\"edge_cut\":" << json_number(f.plan.edge_cut_rate)
+          << ",\"edge_wormhole\":" << json_number(f.plan.edge_wormhole_rate)
+          << '}';
+    }
+    out << ']';
+  }
+  out << '}';
   return out.str();
 }
 
@@ -110,7 +132,7 @@ CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
   check_known_keys(root,
                    {"name", "workload", "graphs", "placements", "color_seeds",
                     "scheduler", "backend", "max_steps", "retries",
-                    "timeout_seconds", "labeling_budget", "inject"},
+                    "timeout_seconds", "labeling_budget", "inject", "faults"},
                    "spec");
   CampaignSpec spec;
   spec.name = root.require("name").as_string();
@@ -168,6 +190,29 @@ CampaignSpec CampaignSpec::from_json_text(const std::string& text) {
     spec.inject.match = inject->string_or("match", "");
     spec.inject.fail_attempts =
         static_cast<int>(inject->int_or("fail_attempts", 0));
+  }
+  if (const JsonValue* faults = root.find("faults")) {
+    for (const JsonValue& f : faults->as_array()) {
+      check_known_keys(f,
+                       {"label", "seed", "crash", "sign_loss", "sign_dup",
+                        "msg_loss", "msg_dup", "msg_delay", "edge_cut",
+                        "edge_wormhole"},
+                       "fault point");
+      FaultPoint point;
+      point.label = f.require("label").as_string();
+      QELECT_CHECK(!point.label.empty(),
+                   "campaign spec: fault point label must be non-empty");
+      point.plan.fault_seed = static_cast<std::uint64_t>(f.int_or("seed", 0));
+      point.plan.crash_rate = f.number_or("crash", 0);
+      point.plan.sign_loss_rate = f.number_or("sign_loss", 0);
+      point.plan.sign_dup_rate = f.number_or("sign_dup", 0);
+      point.plan.msg_loss_rate = f.number_or("msg_loss", 0);
+      point.plan.msg_dup_rate = f.number_or("msg_dup", 0);
+      point.plan.msg_delay_rate = f.number_or("msg_delay", 0);
+      point.plan.edge_cut_rate = f.number_or("edge_cut", 0);
+      point.plan.edge_wormhole_rate = f.number_or("edge_wormhole", 0);
+      spec.faults.push_back(std::move(point));
+    }
   }
   return spec;
 }

@@ -195,7 +195,8 @@ std::vector<std::vector<graph::NodeId>> expand_placements(
 TaskSpec make_task(const CampaignSpec& spec, std::string workload,
                    std::string key_prefix, GraphRef graph,
                    std::vector<graph::NodeId> home_bases,
-                   std::uint64_t color_seed) {
+                   std::uint64_t color_seed,
+                   const FaultPoint* fault = nullptr) {
   TaskSpec task;
   task.workload = std::move(workload);
   task.graph = std::move(graph);
@@ -207,6 +208,13 @@ TaskSpec make_task(const CampaignSpec& spec, std::string workload,
   std::ostringstream key;
   key << key_prefix << '/' << task.graph.label()
       << placement_suffix(task.home_bases) << "/s=" << color_seed;
+  // The fault segment exists only on campaigns with a faults axis, so
+  // fault-free campaigns keep their pre-fault keys (store compatibility).
+  if (fault != nullptr) {
+    task.fault_label = fault->label;
+    task.faults = fault->plan;
+    key << "/f=" << fault->label;
+  }
   task.key = key.str();
   return task;
 }
@@ -242,12 +250,18 @@ std::vector<TaskSpec> expand_tasks(const CampaignSpec& spec) {
   QELECT_CHECK(!spec.name.empty(), "campaign spec: name must be non-empty");
   std::vector<TaskSpec> tasks;
   if (spec.workload == "table1") {
+    QELECT_CHECK(spec.faults.empty(),
+                 "campaign spec: the table1 workload has no faults axis");
     tasks = expand_table1(spec);
   } else {
     QELECT_CHECK(spec.workload == "analyze" || spec.workload == "elect" ||
                      spec.workload == "quantitative" ||
-                     spec.workload == "moves",
+                     spec.workload == "moves" ||
+                     spec.workload == "degradation",
                  "campaign spec: unknown workload '" + spec.workload + "'");
+    QELECT_CHECK(spec.workload != "degradation" || !spec.faults.empty(),
+                 "campaign spec: the degradation workload needs a non-empty "
+                 "faults axis (add a zero-rate point for the control row)");
     QELECT_CHECK(!spec.graphs.empty(),
                  "campaign spec: workload '" + spec.workload +
                      "' needs at least one graph axis");
@@ -257,8 +271,15 @@ std::vector<TaskSpec> expand_tasks(const CampaignSpec& spec) {
         for (auto& bases : expand_placements(spec.placements, g)) {
           if (bases.size() > g.node_count()) continue;
           for (const std::uint64_t seed : spec.color_seeds) {
-            tasks.push_back(make_task(spec, spec.workload, spec.workload,
-                                      ref, bases, seed));
+            if (spec.faults.empty()) {
+              tasks.push_back(make_task(spec, spec.workload, spec.workload,
+                                        ref, bases, seed));
+            } else {
+              for (const FaultPoint& fault : spec.faults) {
+                tasks.push_back(make_task(spec, spec.workload, spec.workload,
+                                          ref, bases, seed, &fault));
+              }
+            }
           }
         }
       }

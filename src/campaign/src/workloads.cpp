@@ -9,10 +9,15 @@
 #include "qelect/core/baselines.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/core/petersen.hpp"
+#include "qelect/fault/diagnosis.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/graph/placement.hpp"
+#include "qelect/sim/message_world.hpp"
 #include "qelect/sim/world.hpp"
+#include "qelect/trace/invariants.hpp"
+#include "qelect/trace/sink.hpp"
 #include "qelect/util/assert.hpp"
+#include "qelect/util/rng.hpp"
 
 namespace qelect::campaign {
 
@@ -27,6 +32,20 @@ sim::RunConfig run_config(const TaskSpec& task) {
   if (task.max_steps > 0) config.max_steps = task.max_steps;
   config.trace_label = task.key;
   return config;
+}
+
+/// The plan a task actually executes: the campaign-level plan with its
+/// seed re-keyed by the task key, so every task draws independent Philox
+/// streams while reruns and resume reproduce them exactly.
+fault::FaultPlan derived_faults(const TaskSpec& task) {
+  fault::FaultPlan plan = task.faults;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : task.key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  plan.fault_seed = hash_combine(plan.fault_seed, h);
+  return plan;
 }
 
 std::size_t max_degree_of(const graph::Graph& g) {
@@ -84,7 +103,10 @@ Metrics run_elect(const TaskSpec& task, const CancelToken& cancel) {
   const graph::Placement& p = w.placement();
   const auto plan = core::protocol_plan(g, p);
   cancel.throw_if_cancelled();
-  const auto r = w.run(core::make_elect_protocol(), run_config(task));
+  sim::RunConfig config = run_config(task);
+  const fault::FaultPlan fault_plan = derived_faults(task);
+  if (fault_plan.enabled()) config.faults = &fault_plan;
+  const auto r = w.run(core::make_elect_protocol(), config);
   const bool matches = r.completed &&
                        r.clean_election() == (plan.final_gcd == 1) &&
                        r.clean_failure() == (plan.final_gcd != 1);
@@ -111,7 +133,10 @@ Metrics run_moves(const TaskSpec& task, const CancelToken& cancel) {
   sim::World& w = WorldPool::local().acquire(task, /*quantitative=*/false);
   const graph::Graph& g = w.graph();
   const graph::Placement& p = w.placement();
-  const auto r = w.run(core::make_elect_protocol(), run_config(task));
+  sim::RunConfig config = run_config(task);
+  const fault::FaultPlan fault_plan = derived_faults(task);
+  if (fault_plan.enabled()) config.faults = &fault_plan;
+  const auto r = w.run(core::make_elect_protocol(), config);
   const std::uint64_t budget = core::theorem31_move_budget(g, p);
   return {{"n", static_cast<double>(g.node_count())},
           {"edges", static_cast<double>(g.edge_count())},
@@ -123,6 +148,95 @@ Metrics run_moves(const TaskSpec& task, const CancelToken& cancel) {
            budget == 0 ? 0
                        : static_cast<double>(r.total_moves) /
                              static_cast<double>(budget)}};
+}
+
+// One degradation cell: run ELECT with the task's FaultPlan live, trace
+// the run, post-check the trace with the invariant checkers, and join the
+// first violation against the fault log (which axis fired before the
+// model broke).  Message-axis points run the Figure 1 message-passing
+// reading (the only world with links to be lossy on); everything else
+// runs the pooled mobile-agent World.
+Metrics run_degradation(const TaskSpec& task, const CancelToken& cancel) {
+  cancel.throw_if_cancelled();
+  const graph::Graph g = task.graph.build();
+  const graph::Placement p(g.node_count(), task.home_bases);
+  const auto proto_plan = core::protocol_plan(g, p);
+  const std::uint64_t budget = core::theorem31_move_budget(g, p);
+
+  sim::RunConfig config = run_config(task);
+  const fault::FaultPlan fault_plan = derived_faults(task);
+  if (fault_plan.enabled()) config.faults = &fault_plan;
+  trace::VectorSink sink;
+  config.sink = &sink;
+
+  sim::RunResult r;
+  if (fault_plan.message_enabled()) {
+    sim::MessageWorld w(g, p, task.color_seed);
+    r = w.run(core::make_elect_protocol(), config);
+  } else {
+    sim::World& w = WorldPool::local().acquire(task, /*quantitative=*/false);
+    r = w.run(core::make_elect_protocol(), config);
+  }
+
+  // "Correct" is the fault-tolerant oracle match: gcd-1 instances must
+  // elect among the survivors, obstructed instances must have every
+  // survivor detect failure (and someone must survive to say so).
+  bool surviving_failure = r.completed;
+  std::size_t survivors = 0;
+  for (const auto& a : r.agents) {
+    if (a.status == sim::AgentStatus::Crashed) continue;
+    ++survivors;
+    if (a.status != sim::AgentStatus::FailureDetected) {
+      surviving_failure = false;
+    }
+  }
+  surviving_failure = surviving_failure && survivors > 0;
+  const bool correct = proto_plan.final_gcd == 1 ? r.surviving_election()
+                                                 : surviving_failure;
+
+  trace::InvariantSpec inv;
+  inv.graph = &g;
+  inv.home_bases = task.home_bases;
+  // Certificate factor, not the measured ratio: fault-free ELECT runs at
+  // ~2-4 r|E| units (see docs/TRACING.md), so 16 only fires on runs a
+  // fault genuinely pushed out of the model; the measured inflation is
+  // reported separately as move_inflation.
+  inv.theorem31_factor = 16.0;
+  const auto report = trace::check_trace(sink.events(), inv);
+  const auto fv = fault::diagnose_first_violation(report, r.fault_events);
+
+  const auto& fs = r.fault_summary;
+  return {{"n", static_cast<double>(g.node_count())},
+          {"edges", static_cast<double>(g.edge_count())},
+          {"agents", static_cast<double>(p.agent_count())},
+          {"final_gcd", static_cast<double>(proto_plan.final_gcd)},
+          {"completed", r.completed ? 1 : 0},
+          {"correct", correct ? 1 : 0},
+          {"crashed", static_cast<double>(r.crashed_count())},
+          {"moves", static_cast<double>(r.total_moves)},
+          {"budget", static_cast<double>(budget)},
+          {"move_inflation",
+           budget == 0 ? 0
+                       : static_cast<double>(r.total_moves) /
+                             static_cast<double>(budget)},
+          {"faults_total", static_cast<double>(fs.total)},
+          {"faults_crash",
+           static_cast<double>(fs.by_axis(fault::FaultAxis::Crash))},
+          {"faults_board",
+           static_cast<double>(fs.by_axis(fault::FaultAxis::Board))},
+          {"faults_message",
+           static_cast<double>(fs.by_axis(fault::FaultAxis::Message))},
+          {"faults_edge",
+           static_cast<double>(fs.by_axis(fault::FaultAxis::Edge))},
+          {"first_fault_kind",
+           fs.any ? static_cast<double>(static_cast<int>(fs.first.kind)) : -1},
+          {"first_fault_step",
+           fs.any ? static_cast<double>(fs.first.step) : -1},
+          {"violated", fv.violated ? 1 : 0},
+          {"cause_kind",
+           fv.caused_by_fault
+               ? static_cast<double>(static_cast<int>(fv.cause.kind))
+               : -1}};
 }
 
 // The Section 1.3 lockstep indistinguishability: one walker on C_3 vs two
@@ -219,6 +333,7 @@ std::vector<std::pair<std::string, double>> run_task(
   if (task.workload == "elect") return run_elect(task, cancel);
   if (task.workload == "quantitative") return run_quantitative(task);
   if (task.workload == "moves") return run_moves(task, cancel);
+  if (task.workload == "degradation") return run_degradation(task, cancel);
 
   const graph::Graph g = task.graph.build();
   const graph::Placement p(g.node_count(), task.home_bases);

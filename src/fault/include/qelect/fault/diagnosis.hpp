@@ -1,0 +1,43 @@
+// First-violation diagnosis: *which assumption broke first?*
+//
+// The trace invariant checkers (qelect/trace/invariants.hpp) tell us the
+// first step at which the run stopped respecting the paper's model; the
+// fault log tells us every assumption the injector violated and when.
+// Joining the two names the culprit: the latest injected fault at or
+// before the first invariant violation is the assumption whose loss the
+// checker observed.  Degradation campaigns histogram this over thousands
+// of runs to show which axis each family is most fragile against.
+#pragma once
+
+#include <string>
+
+#include "qelect/fault/injector.hpp"
+#include "qelect/trace/invariants.hpp"
+
+namespace qelect::fault {
+
+struct FirstViolation {
+  bool violated = false;        // the invariant report had any violation
+  std::uint64_t step = 0;       // step of the first violation (when known)
+  std::uint32_t agent = 0;      // agent of the first violation
+  std::string what;             // checker's description of it
+
+  bool caused_by_fault = false;  // a fault fired at or before `step`
+  FaultEvent cause;              // that fault (latest one not after `step`)
+
+  /// "ok", "violation without injected cause", or
+  /// "<axis>/<kind> at step S broke: <what>".
+  std::string to_string() const;
+
+  bool operator==(const FirstViolation&) const = default;
+};
+
+/// Joins an invariant report with a run's applied-fault log.  Bound-only
+/// violations (Theorem 3.1 overruns carry no step) are attributed to the
+/// *first* fault of the run: the budget is a whole-run property, so the
+/// earliest perturbation is the first violated assumption.
+FirstViolation diagnose_first_violation(
+    const trace::InvariantReport& report,
+    const std::vector<FaultEvent>& fault_events);
+
+}  // namespace qelect::fault

@@ -1,0 +1,55 @@
+#include "qelect/fault/diagnosis.hpp"
+
+namespace qelect::fault {
+
+std::string FirstViolation::to_string() const {
+  if (!violated) return "ok";
+  const std::string where =
+      "step " + std::to_string(step) + " agent " + std::to_string(agent);
+  if (!caused_by_fault) {
+    return "violation without injected cause (" + where + ": " + what + ")";
+  }
+  return std::string(axis_name(axis_of(cause.kind))) + "/" +
+         kind_name(cause.kind) + " at step " + std::to_string(cause.step) +
+         " broke " + where + ": " + what;
+}
+
+FirstViolation diagnose_first_violation(
+    const trace::InvariantReport& report,
+    const std::vector<FaultEvent>& fault_events) {
+  FirstViolation out;
+  if (report.ok()) return out;
+  out.violated = true;
+
+  // Prefer the earliest event-anchored violation; fall back to the first
+  // bound violation (no step) when every entry is bound-only.
+  const trace::InvariantReport::Violation* chosen = nullptr;
+  for (const auto& v : report.details) {
+    if (!v.has_event) continue;
+    if (chosen == nullptr || v.step < chosen->step) chosen = &v;
+  }
+  const bool bound_only = chosen == nullptr;
+  if (bound_only) chosen = &report.details.front();
+  out.step = chosen->step;
+  out.agent = chosen->agent;
+  out.what = chosen->what;
+
+  // The culprit: the latest fault not after the violation -- or, for a
+  // whole-run bound violation, the very first perturbation.
+  const FaultEvent* cause = nullptr;
+  for (const FaultEvent& f : fault_events) {
+    if (bound_only) {
+      if (cause == nullptr || f.step < cause->step) cause = &f;
+    } else if (f.step <= out.step &&
+               (cause == nullptr || f.step >= cause->step)) {
+      cause = &f;
+    }
+  }
+  if (cause != nullptr) {
+    out.caused_by_fault = true;
+    out.cause = *cause;
+  }
+  return out;
+}
+
+}  // namespace qelect::fault

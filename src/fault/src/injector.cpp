@@ -1,0 +1,81 @@
+#include "qelect/fault/injector.hpp"
+
+namespace qelect::fault {
+
+const char* axis_name(FaultAxis axis) {
+  switch (axis) {
+    case FaultAxis::Crash:
+      return "crash";
+    case FaultAxis::Board:
+      return "board";
+    case FaultAxis::Message:
+      return "message";
+    case FaultAxis::Edge:
+      return "edge";
+  }
+  return "?";
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::AgentCrash:
+      return "agent-crash";
+    case FaultKind::SignLost:
+      return "sign-lost";
+    case FaultKind::SignDuplicated:
+      return "sign-duplicated";
+    case FaultKind::MessageLost:
+      return "message-lost";
+    case FaultKind::MessageDuplicated:
+      return "message-duplicated";
+    case FaultKind::MessageDelayed:
+      return "message-delayed";
+    case FaultKind::EdgeCut:
+      return "edge-cut";
+    case FaultKind::EdgeWormhole:
+      return "edge-wormhole";
+  }
+  return "?";
+}
+
+FaultAxis axis_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::AgentCrash:
+      return FaultAxis::Crash;
+    case FaultKind::SignLost:
+    case FaultKind::SignDuplicated:
+      return FaultAxis::Board;
+    case FaultKind::MessageLost:
+    case FaultKind::MessageDuplicated:
+    case FaultKind::MessageDelayed:
+      return FaultAxis::Message;
+    case FaultKind::EdgeCut:
+    case FaultKind::EdgeWormhole:
+      return FaultAxis::Edge;
+  }
+  return FaultAxis::Crash;
+}
+
+std::uint64_t FaultSummary::by_axis(FaultAxis axis) const {
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (axis_of(static_cast<FaultKind>(k)) == axis) sum += by_kind[k];
+  }
+  return sum;
+}
+
+FaultStats& fault_stats() {
+  static FaultStats stats;
+  return stats;
+}
+
+void flush_fault_stats(const FaultSummary& summary) {
+  FaultStats& stats = fault_stats();
+  stats.faulted_runs.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t a = 0; a < kFaultAxisCount; ++a) {
+    const std::uint64_t n = summary.by_axis(static_cast<FaultAxis>(a));
+    if (n != 0) stats.events_by_axis[a].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace qelect::fault

@@ -8,6 +8,7 @@
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/core/elect_batch.hpp"
+#include "qelect/fault/injector.hpp"
 #include "qelect/sim/world.hpp"
 #include "qelect/graph/labeling.hpp"
 #include "qelect/graph/placement.hpp"
@@ -467,6 +468,18 @@ std::vector<std::uint8_t> Service::run_stats(
     counters.emplace_back(
         kSlabBucketNames[b],
         batch.slab_size_hist[b].load(std::memory_order_relaxed));
+  }
+
+  // Fault-injection counters (src/fault), process-wide like the batch
+  // counters: any faulted run in this process reports here.
+  const auto& faults = fault::fault_stats();
+  counters.emplace_back("fault_runs",
+                        faults.faulted_runs.load(std::memory_order_relaxed));
+  for (std::size_t a = 0; a < fault::kFaultAxisCount; ++a) {
+    counters.emplace_back(
+        std::string("fault_events_") +
+            fault::axis_name(static_cast<fault::FaultAxis>(a)),
+        faults.events_by_axis[a].load(std::memory_order_relaxed));
   }
 
   const auto cert = iso::CertificateCache::global().stats();

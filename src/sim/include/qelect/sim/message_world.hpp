@@ -69,7 +69,7 @@ class MessageWorld {
 
   void mint_labels();
 
-  template <bool kTraced>
+  template <bool kTraced, bool kFaulted>
   MessageRunResult run_impl(const Protocol& protocol,
                             const RunConfig& config);
 
@@ -92,6 +92,7 @@ class MessageWorld {
     std::vector<std::vector<std::uint32_t>> waiters;
     std::vector<std::uint8_t> in_flight;     // agent is a message on a link
     std::vector<graph::HalfEdge> arrival;    // far side it will arrive at
+    std::vector<std::uint8_t> crashed;       // faulted runs only
   };
   Scratch scratch_;
 };

@@ -118,6 +118,12 @@ class Whiteboard {
 
   void post(Sign sign) { signs_.push_back(std::move(sign)); }
 
+  /// Removes the sign at `index` (posting order).  Used by the fault
+  /// injector's sign-loss axis, which picks its victim by index.
+  void erase_at(std::size_t index) {
+    signs_.erase(signs_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
   /// Removes all signs matching the predicate; returns how many.
   template <typename Pred>
   std::size_t erase_if(Pred&& pred) {

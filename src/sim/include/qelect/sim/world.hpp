@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "qelect/fault/injector.hpp"
 #include "qelect/graph/graph.hpp"
 #include "qelect/graph/placement.hpp"
 #include "qelect/sim/behavior.hpp"
@@ -45,12 +46,15 @@ namespace qelect::sim {
 inline constexpr std::uint32_t kTagHomeBase = 1;
 inline constexpr std::uint32_t kFirstProtocolTag = 100;
 
-/// Terminal states an agent can declare.
+/// Terminal states an agent can declare (or, under fault injection, have
+/// inflicted on it).
 enum class AgentStatus {
   Running,           // not yet terminated (or protocol ended silently)
   Leader,            // declared itself elected
   Defeated,          // knows the leader's color
   FailureDetected,   // knows election is unsolvable on this input
+  Crashed,           // crash-stopped by the fault injector; never set by
+                     // the fault-free engine
 };
 
 /// What one agent can see and do.  Handed by reference to the protocol
@@ -158,6 +162,12 @@ struct RunConfig {
   /// names an agent that is not currently enabled (divergence).
   const trace::Schedule* replay = nullptr;
 
+  /// Fault injection (src/fault): when set and any axis has a nonzero
+  /// rate, the run executes with injection hooks live.  Null -- or a plan
+  /// with every rate zero -- selects the exact fault-free instantiation of
+  /// the hot loop, so attaching a disabled plan is byte-identical to
+  /// attaching none.  The plan is read for the duration of the run.
+  const fault::FaultPlan* faults = nullptr;
   /// Free-text instance label copied into trace::RunMetadata::label.
   std::string trace_label;
 };
@@ -184,13 +194,26 @@ struct RunResult {
   std::size_t total_board_accesses = 0;
   std::vector<AgentReport> agents;  // in home-base order
 
+  /// Fault-injection record (empty unless RunConfig::faults was enabled):
+  /// aggregate counts plus the applied faults in firing order (capped at
+  /// fault::kMaxLoggedFaultEvents).
+  fault::FaultSummary fault_summary;
+  std::vector<fault::FaultEvent> fault_events;
+
   /// Number of agents that finished as Leader.
   std::size_t leader_count() const;
+  /// Number of agents the injector crash-stopped.
+  std::size_t crashed_count() const;
   /// True iff exactly one leader was elected and every other agent is
   /// Defeated and knows the leader's color.
   bool clean_election() const;
   /// True iff every agent finished in FailureDetected.
   bool clean_failure() const;
+  /// Fault-tolerant reading of clean_election: among the agents that did
+  /// NOT crash, exactly one is Leader and every other survivor is Defeated
+  /// and knows the leader's color.  Equal to clean_election() on fault-free
+  /// runs; the degradation campaigns count this as "correct".
+  bool surviving_election() const;
 };
 
 /// One simulation arena.  Construct, then run a protocol.
@@ -236,7 +259,7 @@ class World {
 
   void mint_labels();
 
-  template <bool kTraced>
+  template <bool kTraced, bool kFaulted>
   RunResult run_impl(const Protocol& protocol, const RunConfig& config);
 
   graph::Graph graph_;
@@ -258,6 +281,7 @@ class World {
     std::vector<std::uint8_t> waiting;   // agent parked on a wait_until
     std::vector<std::uint8_t> wait_sat;  // cached predicate value while parked
     std::vector<std::vector<std::uint32_t>> waiters;  // per node
+    std::vector<std::uint8_t> crashed;   // faulted runs only
   };
   Scratch scratch_;
 };

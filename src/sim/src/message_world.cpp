@@ -69,11 +69,18 @@ const Whiteboard& MessageWorld::board_at(graph::NodeId node) const {
 
 MessageRunResult MessageWorld::run(const Protocol& protocol,
                                    const RunConfig& config) {
-  return config.sink != nullptr ? run_impl<true>(protocol, config)
-                                : run_impl<false>(protocol, config);
+  // Same compile-time split as World::run: sink and fault hooks each cost
+  // a dedicated instantiation, never a per-step branch.
+  const bool faulted = config.faults != nullptr && config.faults->enabled();
+  if (config.sink != nullptr) {
+    return faulted ? run_impl<true, true>(protocol, config)
+                   : run_impl<true, false>(protocol, config);
+  }
+  return faulted ? run_impl<false, true>(protocol, config)
+                 : run_impl<false, false>(protocol, config);
 }
 
-template <bool kTraced>
+template <bool kTraced, bool kFaulted>
 MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
                                         const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
@@ -123,6 +130,9 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
   Scheduler scheduler(config, r);
   MessageRunResult result;
 
+  auto injector = detail::make_injector<kFaulted>(config.faults);
+  if constexpr (kFaulted) scratch_.crashed.assign(r, 0);
+
   // Same incremental enabled/waiter machinery as World::run_impl; the only
   // extra state transition is Send/Deliver, and an in-flight agent is
   // always enabled (its delivery is always possible).
@@ -150,6 +160,12 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
   };
 
   const auto classify = [&](std::size_t i) {
+    if constexpr (kFaulted) {
+      if (scratch_.crashed[i]) {
+        enabled_erase(i);
+        return;
+      }
+    }
     if (in_flight[i]) {  // a message: delivery always enabled
       enabled_insert(i);
       return;
@@ -207,40 +223,130 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
 
   const auto execute_step = [&](std::size_t i) {
     AgentCtx& ctx = contexts[i];
+    // Crash axis: only a computing agent can crash-stop here; an in-flight
+    // agent is a message, and its loss is the message axis's business.
+    if constexpr (kFaulted) {
+      if (!in_flight[i] && injector.roll_crash()) {
+        if (waiting[i]) unpark(i);
+        scratch_.crashed[i] = 1;
+        ctx.status_ = AgentStatus::Crashed;
+        --live;
+        enabled_erase(i);
+        injector.record(result.steps, static_cast<std::uint32_t>(i),
+                        fault::FaultKind::AgentCrash, ctx.position_);
+        if constexpr (kTraced) {
+          sink->on_event(TraceEvent{result.steps,
+                                    static_cast<std::uint32_t>(i),
+                                    TraceEvent::Kind::Crash, ctx.position_,
+                                    trace::kNoPort});
+        }
+        ++result.steps;
+        result.max_in_transit =
+            std::max(result.max_in_transit, in_flight_count);
+        return;
+      }
+    }
     TraceEvent::Kind kind = TraceEvent::Kind::Start;
     graph::PortId port = trace::kNoPort;
     graph::NodeId event_node = ctx.position_;
     bool board_mutated = false;
     graph::NodeId mutated_node = 0;
     if (in_flight[i]) {
-      // Delivery: the message (P, M) arrives and the processor resumes
-      // executing P against its whiteboard.
-      in_flight[i] = 0;
-      --in_flight_count;
-      ctx.position_ = arrival[i].to;
-      ctx.entry_port_ = arrival[i].to_port;
-      ++ctx.moves_;
-      ++result.messages_delivered;
-      kind = TraceEvent::Kind::Deliver;
-      port = arrival[i].to_port;
-      event_node = ctx.position_;
-      behaviors[i].resume_target().resume();
+      bool delivered = true;
+      if constexpr (kFaulted) {
+        if (injector.roll_msg_delay()) {
+          // Adversarial reordering: this delivery attempt stalls; the
+          // message stays on the link and remains deliverable later.
+          delivered = false;
+          kind = TraceEvent::Kind::Stall;
+          event_node = arrival[i].to;
+          injector.record(result.steps, static_cast<std::uint32_t>(i),
+                          fault::FaultKind::MessageDelayed, arrival[i].to);
+        }
+      }
+      if (delivered) {
+        // Delivery: the message (P, M) arrives and the processor resumes
+        // executing P against its whiteboard.
+        in_flight[i] = 0;
+        --in_flight_count;
+        ctx.position_ = arrival[i].to;
+        ctx.entry_port_ = arrival[i].to_port;
+        ++ctx.moves_;
+        ++result.messages_delivered;
+        kind = TraceEvent::Kind::Deliver;
+        port = arrival[i].to_port;
+        event_node = ctx.position_;
+        if constexpr (kFaulted) {
+          if (injector.roll_msg_dup()) {
+            // A second copy of the message arrives and is absorbed by the
+            // already-arrived agent: it inflates delivery counts without
+            // forking the agent (the model's agents are unique).
+            ++result.messages_delivered;
+            injector.record(result.steps, static_cast<std::uint32_t>(i),
+                            fault::FaultKind::MessageDuplicated,
+                            ctx.position_);
+          }
+        }
+        behaviors[i].resume_target().resume();
+      }
     } else {
       Behavior::Handle handle = behaviors[i].handle();
       PendingAction& pending = handle.promise().pending;
       if (auto* mv = std::get_if<ActionMove>(&pending)) {
-        // Send: the agent leaves the processor and becomes a message on
-        // the link; it will resume only at delivery.
         QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
                      "agent moved through a nonexistent port");
-        in_flight[i] = 1;
-        ++in_flight_count;
-        arrival[i] = graph_.peer(ctx.position_, mv->port);
-        kind = TraceEvent::Kind::Send;
         port = mv->port;
         event_node = ctx.position_;  // the node the message departs from
-        pending = std::monostate{};
-        // Do NOT resume: the coroutine continues at delivery.
+        bool sent = true;
+        if constexpr (kFaulted) {
+          if (injector.roll_edge_cut()) {
+            // The link is transiently down: the send fails and the agent
+            // keeps computing at its node (World's MoveCut, message read).
+            sent = false;
+            kind = TraceEvent::Kind::MoveCut;
+            injector.record(result.steps, static_cast<std::uint32_t>(i),
+                            fault::FaultKind::EdgeCut, ctx.position_);
+            pending = std::monostate{};
+            behaviors[i].resume_target().resume();
+          }
+        }
+        if (sent) {
+          // Send: the agent leaves the processor and becomes a message on
+          // the link; it will resume only at delivery.
+          in_flight[i] = 1;
+          ++in_flight_count;
+          arrival[i] = graph_.peer(ctx.position_, mv->port);
+          kind = TraceEvent::Kind::Send;
+          if constexpr (kFaulted) {
+            if (injector.roll_edge_wormhole()) {
+              // Transient edge not in G: the message is routed to a random
+              // entry port of a random processor.
+              const auto dest = static_cast<graph::NodeId>(
+                  bounded_draw(injector.word(fault::FaultAxis::Edge),
+                               graph_.node_count()));
+              arrival[i].to = dest;
+              arrival[i].to_port = static_cast<graph::PortId>(
+                  bounded_draw(injector.word(fault::FaultAxis::Edge),
+                               graph_.degree(dest)));
+              injector.record(result.steps, static_cast<std::uint32_t>(i),
+                              fault::FaultKind::EdgeWormhole, dest);
+            }
+            if (injector.roll_msg_loss()) {
+              // The message vanishes on the link: the agent it carries is
+              // gone (a crash in transit).  The Send event still appears;
+              // the agent's trace simply ends there.
+              in_flight[i] = 0;
+              --in_flight_count;
+              scratch_.crashed[i] = 1;
+              ctx.status_ = AgentStatus::Crashed;
+              --live;
+              injector.record(result.steps, static_cast<std::uint32_t>(i),
+                              fault::FaultKind::MessageLost, event_node);
+            }
+          }
+          pending = std::monostate{};
+          // Do NOT resume: the coroutine continues at delivery.
+        }
       } else {
         if (auto* bd = std::get_if<ActionBoard>(&pending)) {
           mutated_node = ctx.position_;
@@ -248,6 +354,23 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
           board_mutated = true;
           ++ctx.board_accesses_;
           kind = TraceEvent::Kind::Board;
+          if constexpr (kFaulted) {
+            // Board axis: identical semantics to World::run_impl.
+            Whiteboard& b = boards_[mutated_node];
+            if (injector.roll_sign_loss() && !b.signs().empty()) {
+              b.erase_at(bounded_draw(injector.word(fault::FaultAxis::Board),
+                                      b.signs().size()));
+              injector.record(result.steps, static_cast<std::uint32_t>(i),
+                              fault::FaultKind::SignLost, mutated_node);
+            }
+            if (injector.roll_sign_dup() && !b.signs().empty()) {
+              Sign copy = b.signs()[bounded_draw(
+                  injector.word(fault::FaultAxis::Board), b.signs().size())];
+              b.post(std::move(copy));
+              injector.record(result.steps, static_cast<std::uint32_t>(i),
+                              fault::FaultKind::SignDuplicated, mutated_node);
+            }
+          }
         } else if (std::holds_alternative<ActionWait>(pending)) {
           unpark(i);
           kind = TraceEvent::Kind::WaitResume;
@@ -287,6 +410,10 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
       round = enabled;
       for (const std::size_t i : round) {
         if (result.steps >= config.max_steps) break;
+        if constexpr (kFaulted) {
+          // An agent crashed earlier in this round takes no more steps.
+          if (scratch_.crashed[i]) continue;
+        }
         execute_step(i);
       }
     } else {
@@ -310,6 +437,11 @@ MessageRunResult MessageWorld::run_impl(const Protocol& protocol,
     result.total_moves += report.moves;
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
+  }
+  if constexpr (kFaulted) {
+    result.fault_summary = injector.summary();
+    result.fault_events = injector.events();
+    fault::flush_fault_stats(result.fault_summary);
   }
   if constexpr (kTraced) sink->end_run(detail::make_run_summary(result));
   return result;

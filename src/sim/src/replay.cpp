@@ -15,6 +15,8 @@ const char* status_name(AgentStatus status) {
       return "defeated";
     case AgentStatus::FailureDetected:
       return "failure-detected";
+    case AgentStatus::Crashed:
+      return "crashed";
   }
   return "?";
 }
@@ -37,6 +39,8 @@ std::string compare_base(const Result& a, const Result& b) {
            std::to_string(a.total_board_accesses) + " vs " +
            std::to_string(b.total_board_accesses);
   }
+  if (!(a.fault_summary == b.fault_summary)) return "fault summary differs";
+  if (a.fault_events != b.fault_events) return "fault event logs differ";
   if (a.agents.size() != b.agents.size()) return "agent counts differ";
   for (std::size_t i = 0; i < a.agents.size(); ++i) {
     const AgentReport& x = a.agents[i];

@@ -2,12 +2,29 @@
 // configuration and results into the trace subsystem's records.
 #pragma once
 
+#include "qelect/fault/injector.hpp"
 #include "qelect/graph/graph.hpp"
 #include "qelect/graph/placement.hpp"
 #include "qelect/sim/world.hpp"
 #include "qelect/trace/sink.hpp"
 
 namespace qelect::sim::detail {
+
+/// Stand-in injector for the non-faulted run_impl instantiations: every
+/// reference to it sits under `if constexpr (kFaulted)`, so the discarded
+/// branches are never instantiated and the fault-free path constructs
+/// nothing at all (the real injector's plan copy + log vector are small
+/// but measurable on microsecond-scale runs).
+struct NoInjector {};
+
+template <bool kFaulted>
+auto make_injector(const fault::FaultPlan* plan) {
+  if constexpr (kFaulted) {
+    return fault::FaultInjector(plan);
+  } else {
+    return NoInjector{};
+  }
+}
 
 trace::RunMetadata make_run_metadata(const RunConfig& config,
                                      const graph::Graph& graph,

@@ -88,6 +88,14 @@ std::size_t RunResult::leader_count() const {
   return count;
 }
 
+std::size_t RunResult::crashed_count() const {
+  std::size_t count = 0;
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Crashed) ++count;
+  }
+  return count;
+}
+
 bool RunResult::clean_election() const {
   if (!completed || leader_count() != 1) return false;
   Color leader;
@@ -107,6 +115,30 @@ bool RunResult::clean_failure() const {
   return std::all_of(agents.begin(), agents.end(), [](const AgentReport& a) {
     return a.status == AgentStatus::FailureDetected;
   });
+}
+
+bool RunResult::surviving_election() const {
+  if (!completed) return false;
+  std::size_t survivors = 0;
+  std::size_t leaders = 0;
+  Color leader;
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Crashed) continue;
+    ++survivors;
+    if (a.status == AgentStatus::Leader) {
+      ++leaders;
+      leader = a.color;
+    }
+  }
+  if (survivors == 0 || leaders != 1) return false;
+  for (const AgentReport& a : agents) {
+    if (a.status == AgentStatus::Crashed || a.status == AgentStatus::Leader) {
+      continue;
+    }
+    if (a.status != AgentStatus::Defeated) return false;
+    if (!(a.leader_color == leader)) return false;
+  }
+  return true;
 }
 
 World::World(graph::Graph g, graph::Placement p, std::uint64_t color_seed)
@@ -170,12 +202,19 @@ const Whiteboard& World::board_at(graph::NodeId node) const {
 
 RunResult World::run(const Protocol& protocol, const RunConfig& config) {
   // The untraced path is the campaign hot loop: compiling it separately
-  // removes every sink branch from the per-step code.
-  return config.sink != nullptr ? run_impl<true>(protocol, config)
-                                : run_impl<false>(protocol, config);
+  // removes every sink branch from the per-step code.  Likewise for
+  // faults: only a plan with a live axis selects the hooked instantiation,
+  // so a null or all-zero plan runs byte-identical fault-free code.
+  const bool faulted = config.faults != nullptr && config.faults->enabled();
+  if (config.sink != nullptr) {
+    return faulted ? run_impl<true, true>(protocol, config)
+                   : run_impl<true, false>(protocol, config);
+  }
+  return faulted ? run_impl<false, true>(protocol, config)
+                 : run_impl<false, false>(protocol, config);
 }
 
-template <bool kTraced>
+template <bool kTraced, bool kFaulted>
 RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
   const std::size_t r = placement_.agent_count();
   const std::size_t n = graph_.node_count();
@@ -221,6 +260,11 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
   Scheduler scheduler(config, r);
   RunResult result;
 
+  // Fault machinery: the injector's Philox streams are keyed off the plan
+  // alone, so the roll sequence is independent of scheduling and replay.
+  auto injector = detail::make_injector<kFaulted>(config.faults);
+  if constexpr (kFaulted) scratch_.crashed.assign(r, 0);
+
   // The enabled set is maintained incrementally instead of being rebuilt
   // by evaluating every agent's wait predicate each step: an agent parked
   // on wait_until sits on its board's waiter list and is re-polled only
@@ -252,6 +296,12 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
 
   // Re-derives agent i's scheduling state after its coroutine advanced.
   const auto classify = [&](std::size_t i) {
+    if constexpr (kFaulted) {
+      if (scratch_.crashed[i]) {
+        enabled_erase(i);
+        return;
+      }
+    }
     if (behaviors[i].done()) {
       --live;
       enabled_erase(i);
@@ -306,6 +356,28 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
 
   const auto execute_step = [&](std::size_t i) {
     AgentCtx& ctx = contexts[i];
+    // Crash axis: the agent's scheduled step becomes its last.  The step
+    // still consumes its scheduler pick and emits exactly one event, so
+    // recorded schedules replay the crash at the same position.
+    if constexpr (kFaulted) {
+      if (injector.roll_crash()) {
+        if (waiting[i]) unpark(i);
+        scratch_.crashed[i] = 1;
+        ctx.status_ = AgentStatus::Crashed;
+        --live;
+        enabled_erase(i);
+        injector.record(result.steps, static_cast<std::uint32_t>(i),
+                        fault::FaultKind::AgentCrash, ctx.position_);
+        if constexpr (kTraced) {
+          sink->on_event(TraceEvent{result.steps,
+                                    static_cast<std::uint32_t>(i),
+                                    TraceEvent::Kind::Crash, ctx.position_,
+                                    trace::kNoPort});
+        }
+        ++result.steps;
+        return;
+      }
+    }
     Behavior::Handle handle = behaviors[i].handle();
     PendingAction& pending = handle.promise().pending;
     TraceEvent::Kind kind = TraceEvent::Kind::Start;
@@ -315,18 +387,66 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
     if (auto* mv = std::get_if<ActionMove>(&pending)) {
       QELECT_CHECK(mv->port < graph_.degree(ctx.position_),
                    "agent moved through a nonexistent port");
-      const graph::HalfEdge& h = graph_.peer(ctx.position_, mv->port);
       port = mv->port;
-      ctx.position_ = h.to;
-      ctx.entry_port_ = h.to_port;
-      ++ctx.moves_;
-      kind = TraceEvent::Kind::Move;
+      bool traversed = true;
+      if constexpr (kFaulted) {
+        if (injector.roll_edge_cut()) {
+          // The edge is transiently down: the traversal fails and the
+          // agent stays put (unaware -- it sees the same node again).
+          traversed = false;
+          kind = TraceEvent::Kind::MoveCut;
+          injector.record(result.steps, static_cast<std::uint32_t>(i),
+                          fault::FaultKind::EdgeCut, ctx.position_);
+        } else if (injector.roll_edge_wormhole()) {
+          // A transient edge not in G: the agent lands at a uniformly
+          // random node through a uniformly random entry port.  The event
+          // stays Kind::Move so the locality checker flags it; the fault
+          // log then names the wormhole as the violated assumption.
+          traversed = false;
+          const auto dest = static_cast<graph::NodeId>(bounded_draw(
+              injector.word(fault::FaultAxis::Edge), graph_.node_count()));
+          ctx.position_ = dest;
+          ctx.entry_port_ = static_cast<graph::PortId>(bounded_draw(
+              injector.word(fault::FaultAxis::Edge), graph_.degree(dest)));
+          ++ctx.moves_;
+          kind = TraceEvent::Kind::Move;
+          injector.record(result.steps, static_cast<std::uint32_t>(i),
+                          fault::FaultKind::EdgeWormhole, dest);
+        }
+      }
+      if (traversed) {
+        const graph::HalfEdge& h = graph_.peer(ctx.position_, mv->port);
+        ctx.position_ = h.to;
+        ctx.entry_port_ = h.to_port;
+        ++ctx.moves_;
+        kind = TraceEvent::Kind::Move;
+      }
     } else if (auto* bd = std::get_if<ActionBoard>(&pending)) {
       mutated_node = ctx.position_;
       bd->fn(boards_[mutated_node]);
       board_mutated = true;
       ++ctx.board_accesses_;
       kind = TraceEvent::Kind::Board;
+      if constexpr (kFaulted) {
+        // Board axis: after the atomic access, a uniformly random sign on
+        // this board may be lost / duplicated.  Rolls are taken before the
+        // emptiness check so the draw count is a pure function of the
+        // access count.
+        Whiteboard& b = boards_[mutated_node];
+        if (injector.roll_sign_loss() && !b.signs().empty()) {
+          b.erase_at(bounded_draw(injector.word(fault::FaultAxis::Board),
+                                  b.signs().size()));
+          injector.record(result.steps, static_cast<std::uint32_t>(i),
+                          fault::FaultKind::SignLost, mutated_node);
+        }
+        if (injector.roll_sign_dup() && !b.signs().empty()) {
+          Sign copy = b.signs()[bounded_draw(
+              injector.word(fault::FaultAxis::Board), b.signs().size())];
+          b.post(std::move(copy));
+          injector.record(result.steps, static_cast<std::uint32_t>(i),
+                          fault::FaultKind::SignDuplicated, mutated_node);
+        }
+      }
     } else if (std::holds_alternative<ActionWait>(pending)) {
       unpark(i);
       kind = TraceEvent::Kind::WaitResume;
@@ -367,6 +487,10 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
       round = enabled;
       for (const std::size_t i : round) {
         if (result.steps >= config.max_steps) break;
+        if constexpr (kFaulted) {
+          // An agent crashed earlier in this round takes no more steps.
+          if (scratch_.crashed[i]) continue;
+        }
         execute_step(i);
       }
     } else {
@@ -392,6 +516,11 @@ RunResult World::run_impl(const Protocol& protocol, const RunConfig& config) {
     result.total_moves += report.moves;
     result.total_board_accesses += report.board_accesses;
     result.agents.push_back(std::move(report));
+  }
+  if constexpr (kFaulted) {
+    result.fault_summary = injector.summary();
+    result.fault_events = injector.events();
+    fault::flush_fault_stats(result.fault_summary);
   }
   if constexpr (kTraced) sink->end_run(detail::make_run_summary(result));
   return result;

@@ -42,6 +42,12 @@ struct TraceEvent {
     Deliver,     // message world: agent arrived at `node` via its `port`
     TaskOk,      // campaign engine: task committed with outcome ok
     TaskFail,    // campaign engine: task committed failed (or timed out)
+    // Fault-injection kinds (src/fault).  Appended at the end so the
+    // numeric values of the fault-free kinds -- and therefore the golden
+    // trace digests -- are unchanged.
+    Crash,       // the agent crash-stopped at `node`; no further actions
+    MoveCut,     // a traversal attempt failed (edge down); agent stayed
+    Stall,       // message world: a scheduled delivery was delayed
   };
 
   std::uint64_t step = 0;            // global step index (total order)

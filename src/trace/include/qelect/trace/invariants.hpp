@@ -38,7 +38,19 @@ struct InvariantSpec {
 };
 
 struct InvariantReport {
+  /// One structured entry per violation, parallel to `violations`.  Bound
+  /// violations (Theorem 3.1) have `has_event = false`.  The structured
+  /// form is what fault::diagnose_first_violation joins against a fault
+  /// log to name the first violated assumption.
+  struct Violation {
+    bool has_event = false;
+    std::uint64_t step = 0;
+    std::uint32_t agent = 0;
+    std::string what;
+  };
+
   std::vector<std::string> violations;
+  std::vector<Violation> details;               // parallel to `violations`
   std::uint64_t events_checked = 0;
   std::uint64_t total_moves = 0;                // Move + Deliver events
   std::vector<std::uint64_t> per_agent_moves;   // home-base order

@@ -54,6 +54,12 @@ void CountingSink::on_event(const TraceEvent& event) {
       // Campaign progress events carry no agent motion; only the per-shard
       // step count below applies.
       break;
+    case TraceEvent::Kind::Crash:
+    case TraceEvent::Kind::MoveCut:
+    case TraceEvent::Kind::Stall:
+      // Injected-fault steps: the agent consumed a scheduler slot but made
+      // no progress, so only the step count applies.
+      break;
   }
   ++a.steps;
   last_step_[event.agent] = event.step;

@@ -15,6 +15,12 @@ void report_violation(InvariantReport* report, const TraceEvent& event,
   report->violations.push_back("step " + std::to_string(event.step) +
                                " agent " + std::to_string(event.agent) + " (" +
                                kind_name(event.kind) + "): " + what);
+  report->details.push_back({true, event.step, event.agent, what});
+}
+
+void report_bound_violation(InvariantReport* report, const std::string& what) {
+  report->violations.push_back(what);
+  report->details.push_back({false, 0, 0, what});
 }
 
 }  // namespace
@@ -44,6 +50,7 @@ InvariantReport check_trace(const std::vector<TraceEvent>& events,
   enum class Where { Unknown, AtNode, InTransit };
   struct AgentState {
     Where where = Where::Unknown;
+    bool crashed = false;  // saw a Crash event; no further actions allowed
     graph::NodeId pos = graph::kInvalidNode;
     graph::NodeId arrival = graph::kInvalidNode;  // expected delivery node
   };
@@ -79,6 +86,12 @@ InvariantReport check_trace(const std::vector<TraceEvent>& events,
     prev_step = e.step;
 
     AgentState& st = state[e.agent];
+    // Crash-stop means *stop*: once an agent crashed, any further action of
+    // its is itself a model violation (a faulty world must not resurrect).
+    if (st.crashed && e.kind != TraceEvent::Kind::TaskOk &&
+        e.kind != TraceEvent::Kind::TaskFail) {
+      report_violation(&report, e, "action after crash-stop");
+    }
     switch (e.kind) {
       case TraceEvent::Kind::Move:
         ++report.total_moves;
@@ -160,6 +173,41 @@ InvariantReport check_trace(const std::vector<TraceEvent>& events,
         // Campaign progress events are not simulator actions; they carry no
         // position and are ignored by the execution-model checkers.
         break;
+      case TraceEvent::Kind::Crash:
+        // Crash-stop happens at a node (message-world transit losses never
+        // emit an event for the lost agent -- its trace just ends).
+        if (st.where == Where::InTransit) {
+          report_violation(&report, e, "crash event while in transit");
+        } else if (st.where == Where::AtNode && st.pos != e.node) {
+          report_violation(&report, e,
+                           "crashed at node " + std::to_string(e.node) +
+                               " but tracked position is node " +
+                               std::to_string(st.pos));
+        }
+        st.where = Where::AtNode;
+        st.pos = e.node;
+        st.crashed = true;
+        break;
+      case TraceEvent::Kind::MoveCut:
+        // A cut traversal leaves the agent where it was; no move counted.
+        if (st.where == Where::InTransit) {
+          report_violation(&report, e, "cut traversal while in transit");
+        } else if (st.where == Where::AtNode && st.pos != e.node) {
+          report_violation(&report, e,
+                           "traversal cut at node " + std::to_string(e.node) +
+                               " but tracked position is node " +
+                               std::to_string(st.pos));
+        }
+        st.where = Where::AtNode;
+        st.pos = e.node;
+        break;
+      case TraceEvent::Kind::Stall:
+        // A delayed delivery: the agent must be in transit and stays there.
+        if (st.where == Where::AtNode) {
+          report_violation(&report, e, "stall without a matching send");
+        }
+        if (st.where != Where::Unknown) st.where = Where::InTransit;
+        break;
     }
   }
 
@@ -168,17 +216,19 @@ InvariantReport check_trace(const std::vector<TraceEvent>& events,
         spec.theorem31_factor * static_cast<double>(r) *
         static_cast<double>(g.edge_count());
     if (static_cast<double>(report.total_moves) > budget) {
-      report.violations.push_back(
+      report_bound_violation(
+          &report,
           "Theorem 3.1 bound exceeded: " + std::to_string(report.total_moves) +
-          " total moves > " + std::to_string(budget) + " (= " +
-          std::to_string(spec.theorem31_factor) + " * r * |E|)");
+              " total moves > " + std::to_string(budget) + " (= " +
+              std::to_string(spec.theorem31_factor) + " * r * |E|)");
     }
     for (std::size_t i = 0; i < r; ++i) {
       if (static_cast<double>(report.per_agent_moves[i]) > budget) {
-        report.violations.push_back(
-            "Theorem 3.1 bound exceeded by agent " + std::to_string(i) + ": " +
-            std::to_string(report.per_agent_moves[i]) + " moves > " +
-            std::to_string(budget));
+        report_bound_violation(
+            &report, "Theorem 3.1 bound exceeded by agent " +
+                         std::to_string(i) + ": " +
+                         std::to_string(report.per_agent_moves[i]) +
+                         " moves > " + std::to_string(budget));
       }
     }
   }

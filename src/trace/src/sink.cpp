@@ -24,6 +24,12 @@ const char* kind_name(TraceEvent::Kind kind) {
       return "task-ok";
     case TraceEvent::Kind::TaskFail:
       return "task-fail";
+    case TraceEvent::Kind::Crash:
+      return "crash";
+    case TraceEvent::Kind::MoveCut:
+      return "move-cut";
+    case TraceEvent::Kind::Stall:
+      return "stall";
   }
   return "?";
 }

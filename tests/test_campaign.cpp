@@ -104,6 +104,92 @@ TEST(CampaignSpec, JsonRoundTripIsExact) {
   EXPECT_EQ(back.spec_hash(), spec.spec_hash());
 }
 
+TEST(CampaignSpec, FaultsAxisRoundTripsAndEmptyPreservesHash) {
+  // A fault-free spec must serialize without any "faults" key at all, so
+  // stores written before the fault subsystem existed still hash-match.
+  const CampaignSpec bare = small_spec();
+  EXPECT_EQ(bare.to_json().find("faults"), std::string::npos);
+
+  CampaignSpec spec = small_spec();
+  spec.workload = "degradation";
+  FaultPoint control;
+  control.label = "none";
+  FaultPoint crashy;
+  crashy.label = "crash-0.01";
+  crashy.plan.fault_seed = 7;
+  crashy.plan.crash_rate = 0.01;
+  crashy.plan.edge_wormhole_rate = 0.5;
+  spec.faults = {control, crashy};
+  const std::string json = spec.to_json();
+  const CampaignSpec back = CampaignSpec::from_json_text(json);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.to_json(), json);
+  EXPECT_EQ(back.spec_hash(), spec.spec_hash());
+  EXPECT_NE(back.spec_hash(), bare.spec_hash());
+}
+
+TEST(CampaignSpec, DegradationTasksCarryFaultKeySegments) {
+  CampaignSpec spec = small_spec();
+  spec.name = "deg";
+  spec.workload = "degradation";
+  FaultPoint control;
+  control.label = "none";
+  FaultPoint crashy;
+  crashy.label = "crash-0.01";
+  crashy.plan.crash_rate = 0.01;
+  spec.faults = {control, crashy};
+  const auto tasks = expand_tasks(spec);
+  ASSERT_FALSE(tasks.empty());
+  std::size_t with_control = 0, with_crashy = 0;
+  for (const auto& t : tasks) {
+    if (t.key.ends_with("/f=none")) ++with_control;
+    if (t.key.ends_with("/f=crash-0.01")) ++with_crashy;
+  }
+  EXPECT_EQ(with_control + with_crashy, tasks.size());
+  EXPECT_EQ(with_control, with_crashy);  // full grid per fault point
+
+  // Degradation without a faults axis is a spec error, not a silent
+  // fault-free sweep.
+  CampaignSpec no_faults = spec;
+  no_faults.faults.clear();
+  EXPECT_THROW(expand_tasks(no_faults), CheckError);
+}
+
+TEST(CampaignReport, RejectsStoreWhoseSpecNoLongerMatchesTheBuiltin) {
+  // A store written under an older definition of a built-in campaign must
+  // make `qelect report` fail with a clear message (nonzero exit), not
+  // mis-group records under the current definition.
+  ScratchDir scratch("report_mismatch");
+  const std::string path = scratch.path("stale.qws");
+  CampaignSpec stale = builtin_spec("rings-smoke");
+  stale.max_steps = 123456;  // "the catalog changed since"
+  StoreHeader header;
+  header.name = stale.name;
+  header.spec_hash = stale.spec_hash();
+  header.spec_json = stale.to_json();
+  { StoreWriter writer(path, header); }
+  try {
+    print_report(path);
+    FAIL() << "expected CheckError for a stale built-in store";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("no longer matches"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignReport, RejectsStoreWithTamperedHeader) {
+  ScratchDir scratch("report_tampered");
+  const std::string path = scratch.path("tampered.qws");
+  CampaignSpec spec = small_spec();
+  StoreHeader header;
+  header.name = spec.name;
+  header.spec_hash = spec.spec_hash() ^ 1;  // header edited or corrupted
+  header.spec_json = spec.to_json();
+  { StoreWriter writer(path, header); }
+  EXPECT_THROW(print_report(path), CheckError);
+}
+
 TEST(CampaignSpec, RejectsUnknownKeys) {
   EXPECT_THROW(CampaignSpec::from_json_text(
                    R"({"name":"x","workload":"elect","grpahs":[]})"),

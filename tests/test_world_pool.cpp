@@ -16,6 +16,7 @@
 #include "qelect/campaign/world_pool.hpp"
 #include "qelect/core/baselines.hpp"
 #include "qelect/core/elect.hpp"
+#include "qelect/fault/plan.hpp"
 #include "qelect/graph/families.hpp"
 #include "qelect/graph/placement.hpp"
 #include "qelect/sim/message_world.hpp"
@@ -148,6 +149,112 @@ TEST(WorldReset, QuantitativeWorldKeepsLabelsAcrossReset) {
   reused.reset(9);
   const Observed got = traced_run(reused, quant, config);
   expect_identical(want, got);
+}
+
+TEST(WorldReset, MessageWorldReusedMatchesFreshAcrossPolicies) {
+  // MessageWorld::reset parity, the pooled-reuse premise, under every
+  // scheduler policy -- the same discipline the World variant above gets.
+  const Graph g = graph::ring(6);
+  const Placement p(6, {0, 3});
+  const sim::Protocol elect = core::make_elect_protocol();
+
+  auto run_message = [&](sim::MessageWorld& w, sim::RunConfig config) {
+    trace::VectorSink sink;
+    config.sink = &sink;
+    Observed obs;
+    obs.result = w.run(elect, config);
+    obs.events = sink.events();
+    return obs;
+  };
+
+  for (const PolicyCase& pc : policy_cases()) {
+    SCOPED_TRACE(pc.name);
+    sim::MessageWorld fresh(g, p, 11);
+    const Observed want =
+        run_message(fresh, config_for(pc.policy, pc.seed));
+
+    sim::MessageWorld reused(g, p, 3);
+    run_message(reused, config_for(sim::SchedulerPolicy::Random, 99));
+    reused.reset(11);
+    const Observed got =
+        run_message(reused, config_for(pc.policy, pc.seed));
+    expect_identical(want, got);
+  }
+}
+
+TEST(WorldReset, FaultedWorldsResetCleanAcrossPolicies) {
+  // With a FaultPlan attached, reset ≡ fresh must still hold -- both ways:
+  // a faulted run after reset matches a faulted run on a fresh world, and
+  // dirtying a world with a faulty run leaves no residue behind reset.
+  const Graph g = graph::ring(6);
+  const Placement p(6, {0, 3});
+  const sim::Protocol elect = core::make_elect_protocol();
+  fault::FaultPlan plan;
+  plan.fault_seed = 0xfa11;
+  plan.crash_rate = 0.03;
+  plan.sign_loss_rate = 0.03;
+  plan.edge_cut_rate = 0.03;
+
+  for (const PolicyCase& pc : policy_cases()) {
+    SCOPED_TRACE(pc.name);
+    sim::RunConfig faulted = config_for(pc.policy, pc.seed);
+    faulted.faults = &plan;
+
+    sim::World fresh(g, p, 11);
+    const Observed want = traced_run(fresh, elect, faulted);
+
+    sim::World reused(g, p, 3);
+    traced_run(reused, elect, faulted);  // dirty with a *faulty* run
+    reused.reset(11);
+    const Observed got = traced_run(reused, elect, faulted);
+    expect_identical(want, got);
+    EXPECT_EQ(want.result.fault_summary, got.result.fault_summary);
+    EXPECT_EQ(want.result.fault_events, got.result.fault_events);
+
+    // And a fault-free run after a faulty one sees no residue at all.
+    reused.reset(11);
+    const Observed clean =
+        traced_run(reused, elect, config_for(pc.policy, pc.seed));
+    sim::World control(g, p, 11);
+    const Observed fresh_clean =
+        traced_run(control, elect, config_for(pc.policy, pc.seed));
+    expect_identical(fresh_clean, clean);
+  }
+}
+
+TEST(WorldReset, FaultedMessageWorldResetsCleanAcrossPolicies) {
+  const Graph g = graph::ring(6);
+  const Placement p(6, {0, 3});
+  const sim::Protocol elect = core::make_elect_protocol();
+  fault::FaultPlan plan;
+  plan.fault_seed = 0xfa12;
+  plan.msg_loss_rate = 0.03;
+  plan.msg_delay_rate = 0.03;
+
+  auto run_message = [&](sim::MessageWorld& w, sim::RunConfig config) {
+    trace::VectorSink sink;
+    config.sink = &sink;
+    Observed obs;
+    obs.result = w.run(elect, config);
+    obs.events = sink.events();
+    return obs;
+  };
+
+  for (const PolicyCase& pc : policy_cases()) {
+    SCOPED_TRACE(pc.name);
+    sim::RunConfig faulted = config_for(pc.policy, pc.seed);
+    faulted.faults = &plan;
+
+    sim::MessageWorld fresh(g, p, 11);
+    const Observed want = run_message(fresh, faulted);
+
+    sim::MessageWorld reused(g, p, 3);
+    run_message(reused, faulted);
+    reused.reset(11);
+    const Observed got = run_message(reused, faulted);
+    expect_identical(want, got);
+    EXPECT_EQ(want.result.fault_events, got.result.fault_events);
+  }
 }
 
 TEST(WorldReset, MessageWorldReusedMatchesFresh) {

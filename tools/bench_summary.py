@@ -253,6 +253,7 @@ def main():
     baseline_speedups = {}
     batch_speedups = {}
     wal_speedups = {}
+    fault_overheads = {}
     regressions = []
     # Throughput counters paired with their committed baselines: simulator
     # moves/sec (BENCH_sim.json) and serving QPS (BENCH_serve.json).  The
@@ -314,6 +315,17 @@ def main():
                     regressions.append(
                         f"{name}: WAL commit is only {wal_ratio:.1f}x the "
                         f"durable JSONL writer -- below the 10x bar")
+            # Fault-hook overhead (bench_fault): an attached-but-disabled
+            # FaultPlan must route to the fault-free engine, so its
+            # moves/sec must stay within 2% of running with no plan at all.
+            fault_ratio = counters.get("zero_fault_overhead")
+            if fault_ratio is not None:
+                fault_overheads[name] = fault_ratio
+                if not b["smoke"] and fault_ratio < 0.98:
+                    regressions.append(
+                        f"{name}: zero-fault plan runs at "
+                        f"{fault_ratio:.3f}x the plan-free engine -- the "
+                        f"disabled fault hooks cost more than 2%")
     warnings.extend(regressions)
 
     summary = {
@@ -325,6 +337,7 @@ def main():
         "speedups_vs_baseline": baseline_speedups,
         "batch_vs_scalar": batch_speedups,
         "wal_vs_jsonl": wal_speedups,
+        "zero_fault_overhead": fault_overheads,
         "campaigns": campaigns,
         "campaign_tasks": {
             "tasks": sum(c["tasks"] for c in campaigns),
@@ -362,6 +375,10 @@ def main():
     if wal_speedups:
         print("  wal_vs_jsonl (group-committed WAL vs durable JSONL):")
         for k, v in sorted(wal_speedups.items()):
+            print(f"    {k:48s} {v:7.2f}x")
+    if fault_overheads:
+        print("  zero_fault_overhead (disabled FaultPlan vs no plan):")
+        for k, v in sorted(fault_overheads.items()):
             print(f"    {k:48s} {v:7.2f}x")
     if args.strict and regressions:
         print(f"bench_summary: --strict: {len(regressions)} regression(s)",

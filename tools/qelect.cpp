@@ -3,7 +3,7 @@
 //   qelect run <spec.json | builtin> [engine flags]   start / continue
 //   qelect resume <store>            [engine flags]   continue from a store
 //   qelect status <store>                             progress + failures
-//   qelect report <store>                             paper-table report
+//   qelect report <store> [--json F]                  paper-table report
 //   qelect export <store> [--out F]                   store -> JSONL text
 //   qelect compact <store>                            snapshot + trim log
 //   qelect tasks  <spec.json | builtin>               print the expansion
@@ -47,7 +47,9 @@ int usage() {
       "  run <spec.json|builtin> [flags]   run (or continue) a campaign\n"
       "  resume <store> [flags]            continue from a result store\n"
       "  status <store>                    progress and failure summary\n"
-      "  report <store>                    workload-specific report\n"
+      "  report <store> [--json FILE]      workload-specific report (--json\n"
+      "                                    writes the degradation survival\n"
+      "                                    matrix as JSON)\n"
       "  export <store> [--out FILE]       dump the store as JSONL text\n"
       "  compact <store>                   snapshot + reset the WAL tail\n"
       "  tasks <spec.json|builtin>         print the task expansion\n"
@@ -257,7 +259,17 @@ int main(int argc, char** argv) {
     }
     if (command == "report") {
       if (argc < 3) return usage();
-      campaign::print_report(argv[2]);
+      std::string json_path;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--json") {
+          QELECT_CHECK(i + 1 < argc, "--json needs a value");
+          json_path = argv[++i];
+        } else {
+          throw CheckError("unknown flag '" + flag + "'");
+        }
+      }
+      campaign::print_report(argv[2], json_path);
       return 0;
     }
     if (command == "export") return cmd_export(argc, argv);
