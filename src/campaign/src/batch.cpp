@@ -4,6 +4,7 @@
 
 #include "qelect/campaign/workloads.hpp"
 #include "qelect/core/elect_batch.hpp"
+#include "qelect/core/elect_batch_cache.hpp"
 #include "qelect/graph/placement.hpp"
 #include "qelect/sim/batch.hpp"
 
@@ -49,7 +50,9 @@ run_elect_slab(const std::vector<const TaskSpec*>& tasks) {
   const TaskSpec& head = *tasks.front();
   const graph::Graph g = head.graph.build();
   const graph::Placement p(g.node_count(), head.home_bases);
-  const auto plan = core::compile_elect_batch_plan(g, p);
+  // Campaign chunking hands the same structure to many slabs; the shared
+  // plan cache amortizes the compile across them (and across qelectd).
+  const auto plan = core::ElectBatchPlanCache::global().plan(g, p);
 
   std::vector<sim::BatchReplicaConfig> replicas;
   replicas.reserve(tasks.size());

@@ -1,0 +1,101 @@
+// A process-wide, bounded cache of compiled ElectBatchPlans.
+//
+// compile_elect_batch_plan is the expensive prefix of every batch
+// invocation: one scratch scalar run per agent (MAP-DRAWING tape
+// extraction), plan/squad/route precomputation.  The callers that matter
+// -- qelectd's multi-replica RUN_ELECT path, the serve-side request
+// coalescer, and the campaign engine's slab runner -- hand it the *same*
+// instances over and over: a steady-state burst of single-seed queries
+// over one instance is thousands of slabs of one structure, and a
+// many-seed campaign is one structure per spec point chunked into many
+// slabs.  This cache makes the repeat cost a map lookup.
+//
+// Keys are the exact port structure of the graph plus the home-base set
+// (the same lossless encoding the protocol_plan/route caches use), so a
+// hit can only return the plan the uncached compile would have produced:
+// key equality is structure equality, and plans are pure functions of
+// (graph, placement).  The golden batch-vs-scalar parity gate therefore
+// holds verbatim through the cache.
+//
+// Concurrency: lookups and inserts take one mutex; compilation runs
+// *outside* it, so a slow compile of one instance never blocks hits on
+// another.  Two threads racing on the same cold key may both compile;
+// the first insert wins and both receive that shared plan (the compiles
+// counter makes the duplication observable).  Bounded by LRU eviction;
+// qelectd resizes the global instance at startup (--plan-cache).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "qelect/core/elect_batch.hpp"
+#include "qelect/graph/graph.hpp"
+#include "qelect/graph/placement.hpp"
+
+namespace qelect::core {
+
+class ElectBatchPlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit ElectBatchPlanCache(std::size_t capacity = kDefaultCapacity);
+
+  ElectBatchPlanCache(const ElectBatchPlanCache&) = delete;
+  ElectBatchPlanCache& operator=(const ElectBatchPlanCache&) = delete;
+
+  /// The compiled plan for (g, p): a shared hit when the structure was
+  /// seen before, otherwise compiled via compile_elect_batch_plan and
+  /// inserted.  Propagates compile_elect_batch_plan's CheckError for
+  /// unsupported instances (nothing is cached on failure).
+  std::shared_ptr<const ElectBatchPlan> plan(const graph::Graph& g,
+                                             const graph::Placement& p);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t compiles = 0;  // >= misses only under cold-key races
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every entry and resets the statistics.
+  void clear();
+
+  /// Rebounds the cache (qelectd's --plan-cache flag resizes the global
+  /// instance at startup).  Shrinking evicts least-recently-used entries
+  /// down to the new bound; 0 is clamped to 1.
+  void set_capacity(std::size_t capacity);
+
+  /// The process-wide cache shared by serve and campaign slab paths.
+  static ElectBatchPlanCache& global();
+
+ private:
+  /// Lossless structure key: full port structure of the graph, a
+  /// sentinel, then the home-base list.
+  using Key = std::vector<std::uint64_t>;
+  static Key key_of(const graph::Graph& g, const graph::Placement& p);
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+  struct Entry {
+    std::shared_ptr<const ElectBatchPlan> plan;
+    std::list<const Key*>::iterator lru;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  // Front = most recently used; elements point at map keys (stable:
+  // unordered_map nodes do not move on rehash).
+  std::list<const Key*> lru_;
+  Stats stats_;
+};
+
+}  // namespace qelect::core

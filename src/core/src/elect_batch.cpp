@@ -933,8 +933,21 @@ ElectBatchOutcome run_elect_batch(
     const std::shared_ptr<const ElectBatchPlan>& plan,
     const std::vector<sim::BatchReplicaConfig>& replicas,
     const sim::BatchConfig& config) {
-  ElectBatchRunner runner(plan);
-  return runner.run(replicas, config);
+  // Runner reuse is the batch analog of campaign::WorldPool: constructing
+  // an ElectBatchRunner allocates every replica-side buffer, which for the
+  // steady state of campaign slabs and serve coalescing (many slabs of the
+  // same instance per worker thread) is ~25% of slab wall time.  Each
+  // thread keeps its last runner and recycles it while the plan is
+  // unchanged; run() fully resets replica state, so results are identical
+  // to a fresh runner (the batch-vs-scalar parity tests pin this through
+  // this very path).
+  thread_local std::shared_ptr<const ElectBatchPlan> cached_plan;
+  thread_local std::unique_ptr<ElectBatchRunner> cached_runner;
+  if (cached_plan != plan || cached_runner == nullptr) {
+    cached_runner = std::make_unique<ElectBatchRunner>(plan);
+    cached_plan = plan;
+  }
+  return cached_runner->run(replicas, config);
 }
 
 }  // namespace qelect::core

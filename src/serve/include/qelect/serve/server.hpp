@@ -9,6 +9,18 @@
 //   * each worker thread owns an epoll instance and the full lifecycle of
 //     its connections: read, frame decode, Service::handle, write.  A
 //     connection never migrates, so per-connection buffers need no locks;
+//   * frame handling is pipelined: one readable event drains the socket
+//     and decodes *every* complete frame before any response is written,
+//     and queued responses leave in a single vectored writev.  Responses
+//     are sequenced through per-connection FIFO slots, so a request
+//     parked in the coalescer can never be overtaken by a later request
+//     on the same connection;
+//   * each worker runs a micro-batching coalescer for single-seed
+//     RUN_ELECT: requests for the same instance arriving within a
+//     bounded window (ServerOptions::coalesce_window_us) are executed as
+//     one batch slab via Service::run_elect_coalesced, with byte-identical
+//     per-request responses.  Deadlines ride the epoll timeout
+//     (epoll_pwait2 for sub-millisecond windows where available);
 //   * each worker owns a ResponseCache (memoized encoded responses) and its
 //     thread-local campaign::WorldPool; the only cross-thread state on a
 //     query's path is the mutex-guarded iso::CertificateCache::global().
@@ -48,6 +60,18 @@ struct ServerOptions {
   std::size_t cert_cache_capacity = 0;
   /// Largest accepted request payload.
   std::size_t max_payload = kMaxPayload;
+  /// Cross-request RUN_ELECT coalescing window, in microseconds.  Within
+  /// one window a worker collects concurrent single-seed RUN_ELECTs for
+  /// the same instance -- across connections -- and runs them as one
+  /// batch slab.  0 disables coalescing (every request executes
+  /// immediately, exactly the pre-coalescing path).
+  std::uint64_t coalesce_window_us = 200;
+  /// Largest coalesced slab; a full group flushes early instead of
+  /// waiting out the window.  Clamped to kMaxCoalesceSlab and to
+  /// limits.max_replicas.
+  std::uint32_t coalesce_max = 128;
+  /// Process-wide ElectBatchPlanCache capacity; 0 keeps the default.
+  std::size_t plan_cache_capacity = 0;
   ServiceLimits limits;
 };
 
@@ -82,10 +106,19 @@ class Server {
  private:
   struct Connection;
   struct Worker;
+  struct PendingElect;
+  struct CoalesceGroup;
 
   void acceptor_loop();
   void worker_loop(Worker& w);
+  int wait_events(Worker& w, void* events, int max_events);
   void handle_readable(Worker& w, Connection& c);
+  void dispatch_request(Worker& w, Connection& c, std::uint16_t opcode,
+                        std::uint64_t request_id,
+                        std::vector<std::uint8_t> payload);
+  void emit_ready(Connection& c);
+  void flush_group(Worker& w, CoalesceGroup group);
+  void flush_due_groups(Worker& w, bool force);
   bool flush_writes(Worker& w, Connection& c);
   void close_connection(Worker& w, Connection& c);
   void publish_worker_stats(Worker& w);

@@ -40,6 +40,11 @@
 
 #include "qelect/serve/protocol.hpp"
 
+namespace qelect::graph {
+class Graph;
+class Placement;
+}  // namespace qelect::graph
+
 namespace qelect::serve {
 
 /// Compute bounds a deployment can tune (qelectd flags).  They bound the
@@ -123,6 +128,29 @@ class Service {
 
   const ServiceLimits& limits() const { return limits_; }
 
+  /// True when `req` can join a coalesced cross-request slab: exactly one
+  /// replica under a scheduler the batch backend has bit parity for.  The
+  /// server only coalesces requests this admits; everything else flows
+  /// through handle() unchanged.
+  static bool coalescible(const RunElectRequest& req);
+
+  /// Executes a window's worth of coalesced single-seed RUN_ELECT
+  /// requests as ONE batch slab and returns one response payload per
+  /// request, in order.  Every request must share (instance, scheduler) --
+  /// the server groups by instance before calling -- and each response is
+  /// byte-identical to what handle() would have produced for that request
+  /// alone: replica (seed, 0) of the slab is bit-equal to the scalar
+  /// (seed, replica=0) run (the golden parity gate), and validation
+  /// errors depend only on the shared instance.  Counts requests/errors
+  /// itself; never throws.
+  std::vector<std::vector<std::uint8_t>> run_elect_coalesced(
+      const std::vector<RunElectRequest>& reqs);
+
+  /// Counts a request the server answered without handle() -- the
+  /// coalescing path's response-cache hits -- so STATS request totals
+  /// stay exact.
+  void note_request(std::uint16_t opcode);
+
   /// Requests seen per opcode (index = raw opcode) plus error responses
   /// issued, for STATS and tests.
   struct Counters {
@@ -138,7 +166,9 @@ class Service {
   std::vector<std::uint8_t> run_sigma(const SigmaRequest& req);
   std::vector<std::uint8_t> run_view_classes(const InstanceRef& inst);
   std::vector<std::uint8_t> run_run_elect(const RunElectRequest& req);
-  std::vector<std::uint8_t> run_run_elect_batch(const RunElectRequest& req);
+  std::vector<std::uint8_t> run_run_elect_batch(const RunElectRequest& req,
+                                                const graph::Graph& g,
+                                                const graph::Placement& p);
   std::vector<std::uint8_t> run_stats(
       const ResponseCache* cache,
       const std::vector<std::pair<std::string, std::uint64_t>>* extra);

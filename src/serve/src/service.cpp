@@ -8,6 +8,7 @@
 #include "qelect/core/analysis.hpp"
 #include "qelect/core/elect.hpp"
 #include "qelect/core/elect_batch.hpp"
+#include "qelect/core/elect_batch_cache.hpp"
 #include "qelect/fault/injector.hpp"
 #include "qelect/sim/world.hpp"
 #include "qelect/graph/labeling.hpp"
@@ -95,6 +96,21 @@ BuiltInstance build_instance(const InstanceRef& inst,
       std::vector<graph::NodeId>(inst.home_bases.begin(),
                                  inst.home_bases.end()));
   return built;
+}
+
+/// Shared RUN_ELECT validation.  The immediate path and the coalesced
+/// path BOTH funnel through this helper because QELECT_CHECK embeds the
+/// check's expression and source location in its message: one call site
+/// is what makes a rejected request's error bytes identical whichever
+/// path served it.
+BuiltInstance validate_run_elect(const RunElectRequest& req,
+                                 const ServiceLimits& limits) {
+  QELECT_CHECK(!req.instance.home_bases.empty(),
+               "RUN_ELECT needs at least one home base");
+  QELECT_CHECK(req.scheduler == "random" || req.scheduler == "round-robin" ||
+                   req.scheduler == "lockstep" || req.scheduler == "counter",
+               "unknown scheduler '" + req.scheduler + "'");
+  return build_instance(req.instance, limits);
 }
 
 campaign::TaskSpec task_for(const InstanceRef& inst, const char* workload) {
@@ -328,15 +344,11 @@ std::vector<std::uint8_t> Service::run_view_classes(const InstanceRef& inst) {
 }
 
 std::vector<std::uint8_t> Service::run_run_elect(const RunElectRequest& req) {
-  QELECT_CHECK(!req.instance.home_bases.empty(),
-               "RUN_ELECT needs at least one home base");
-  QELECT_CHECK(req.scheduler == "random" || req.scheduler == "round-robin" ||
-                   req.scheduler == "lockstep" || req.scheduler == "counter",
-               "unknown scheduler '" + req.scheduler + "'");
-  if (req.replicas > 1) return run_run_elect_batch(req);
-  // Size validation only; run_task rebuilds through the worker's WorldPool,
-  // so a repeated instance re-uses the pooled arena instead of this copy.
-  build_instance(req.instance, limits_);
+  // Size validation only on the scalar path; run_task rebuilds through the
+  // worker's WorldPool, so a repeated instance re-uses the pooled arena
+  // instead of this copy.
+  const BuiltInstance built = validate_run_elect(req, limits_);
+  if (req.replicas > 1) return run_run_elect_batch(req, built.g, built.p);
   campaign::TaskSpec task = task_for(req.instance, "elect");
   task.color_seed = req.seed;
   task.scheduler = req.scheduler;
@@ -360,7 +372,8 @@ std::vector<std::uint8_t> Service::run_run_elect(const RunElectRequest& req) {
 /// the scalar engine with the identical (seed, replica) counter stream, so
 /// the response never degrades, only the stats note the fallback.
 std::vector<std::uint8_t> Service::run_run_elect_batch(
-    const RunElectRequest& req) {
+    const RunElectRequest& req, const graph::Graph& g,
+    const graph::Placement& p) {
   QELECT_CHECK(req.scheduler == "counter",
                "multi-replica RUN_ELECT requires the 'counter' scheduler");
   if (req.replicas > limits_.max_replicas) {
@@ -370,8 +383,7 @@ std::vector<std::uint8_t> Service::run_run_elect_batch(
             " replicas exceeds max_replicas = " +
             std::to_string(limits_.max_replicas));
   }
-  const BuiltInstance built = build_instance(req.instance, limits_);
-  const auto plan = core::compile_elect_batch_plan(built.g, built.p);
+  const auto plan = core::ElectBatchPlanCache::global().plan(g, p);
   std::vector<sim::BatchReplicaConfig> replicas;
   replicas.reserve(req.replicas);
   for (std::uint32_t i = 0; i < req.replicas; ++i) {
@@ -393,7 +405,7 @@ std::vector<std::uint8_t> Service::run_run_elect_batch(
     sim::RunResult run;
     if (outcome.failed[i]) {
       stats.scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
-      sim::World world(built.g, built.p, /*color_seed=*/req.seed);
+      sim::World world(g, p, /*color_seed=*/req.seed);
       sim::RunConfig cfg;
       cfg.policy = sim::SchedulerPolicy::Counter;
       cfg.seed = req.seed;
@@ -436,6 +448,90 @@ std::vector<std::uint8_t> Service::run_run_elect_batch(
     w.u64(v.steps);
   }
   return w.take();
+}
+
+bool Service::coalescible(const RunElectRequest& req) {
+  return req.replicas == 1 &&
+         (req.scheduler == "random" || req.scheduler == "round-robin" ||
+          req.scheduler == "lockstep" || req.scheduler == "counter");
+}
+
+void Service::note_request(std::uint16_t opcode) {
+  if (opcode < kOpcodeSlots) {
+    requests_[opcode].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Service::run_elect_coalesced(
+    const std::vector<RunElectRequest>& reqs) {
+  requests_[static_cast<std::uint16_t>(Opcode::kRunElect)].fetch_add(
+      reqs.size(), std::memory_order_relaxed);
+  std::vector<std::vector<std::uint8_t>> out(reqs.size());
+  try {
+    // The whole group shares (instance, scheduler), so validating the
+    // head through the same helper as run_run_elect yields the exact
+    // kStatusBadRequest bytes every member would have gotten alone.
+    const RunElectRequest& req = reqs.front();
+    const BuiltInstance built = validate_run_elect(req, limits_);
+    const auto plan = core::ElectBatchPlanCache::global().plan(built.g, built.p);
+    std::vector<sim::BatchReplicaConfig> replicas;
+    replicas.reserve(reqs.size());
+    for (const RunElectRequest& r : reqs) {
+      // Replica (seed, 0): bit-equal to the scalar path's
+      // run_config(task) stream, where the color seed doubles as the
+      // scheduler seed and the replica index defaults to 0.
+      replicas.push_back({r.seed, 0});
+    }
+    sim::BatchConfig config;
+    config.policy = campaign::policy_from_name(req.scheduler);
+    const core::ElectBatchOutcome outcome =
+        core::run_elect_batch(plan, replicas, config);
+
+    auto& stats = campaign::batch_stats();
+    stats.slabs_run.fetch_add(1, std::memory_order_relaxed);
+    stats.replicas_run.fetch_add(reqs.size(), std::memory_order_relaxed);
+    stats.slab_size_hist[campaign::BatchStats::bucket_of(reqs.size())]
+        .fetch_add(1, std::memory_order_relaxed);
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      sim::RunResult run;
+      if (outcome.failed[i]) {
+        stats.scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        sim::World world(built.g, built.p, /*color_seed=*/reqs[i].seed);
+        sim::RunConfig cfg;
+        cfg.policy = config.policy;
+        cfg.seed = reqs[i].seed;
+        run = world.run(core::make_elect_protocol(), cfg);
+      } else {
+        run = outcome.runs[i];
+      }
+      const bool matches =
+          run.completed && run.clean_election() == (plan->final_gcd == 1) &&
+          run.clean_failure() == (plan->final_gcd != 1);
+      WireWriter w;
+      w.u32(kStatusOk);
+      w.u8(run.completed ? 1 : 0);
+      w.u8(run.clean_election() ? 1 : 0);
+      w.u8(run.clean_failure() ? 1 : 0);
+      w.u8(matches ? 1 : 0);
+      w.u64(plan->final_gcd);
+      w.u64(run.total_moves);
+      w.u64(run.steps);
+      out[i] = w.take();
+    }
+  } catch (const CheckError& e) {
+    const auto err = encode_error_response(kStatusBadRequest, e.what());
+    for (auto& o : out) o = err;
+  } catch (const std::exception& e) {
+    const auto err = encode_error_response(kStatusError, e.what());
+    for (auto& o : out) o = err;
+  }
+  for (const auto& o : out) {
+    if (response_status(o) != kStatusOk) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> Service::run_stats(
@@ -481,6 +577,16 @@ std::vector<std::uint8_t> Service::run_stats(
             fault::axis_name(static_cast<fault::FaultAxis>(a)),
         faults.events_by_axis[a].load(std::memory_order_relaxed));
   }
+
+  // Batch-plan compile cache (core), shared by the coalescer, the
+  // multi-replica RUN_ELECT path, and campaign slabs.
+  const auto pc = core::ElectBatchPlanCache::global().stats();
+  counters.emplace_back("plan_cache_hits", pc.hits);
+  counters.emplace_back("plan_cache_misses", pc.misses);
+  counters.emplace_back("plan_cache_compiles", pc.compiles);
+  counters.emplace_back("plan_cache_evictions", pc.evictions);
+  counters.emplace_back("plan_cache_entries", pc.entries);
+  counters.emplace_back("plan_cache_capacity", pc.capacity);
 
   const auto cert = iso::CertificateCache::global().stats();
   counters.emplace_back("cert_cache_hits", cert.hits);

@@ -26,6 +26,10 @@ inline int serve_usage() {
       "  --workers N           worker shards; 0 = hardware concurrency\n"
       "  --response-cache N    per-worker response cache entries (default 4096)\n"
       "  --cert-cache N        shared certificate cache entries (0 = default)\n"
+      "  --plan-cache N        shared batch-plan cache entries (0 = default)\n"
+      "  --coalesce-window US  RUN_ELECT coalescing window in microseconds\n"
+      "                        (default 200; 0 disables micro-batching)\n"
+      "  --coalesce-max N      largest coalesced slab (default 128)\n"
       "  --max-nodes N         largest instance any query may build\n"
       "  --max-payload BYTES   largest accepted request payload\n"
       "  --sigma-budget X      SIGMA labeling-enumeration budget\n"
@@ -55,6 +59,12 @@ inline int serve_main(int argc, char** argv, int from) {
       options.response_cache_capacity = std::stoul(value(i));
     } else if (flag == "--cert-cache") {
       options.cert_cache_capacity = std::stoul(value(i));
+    } else if (flag == "--plan-cache") {
+      options.plan_cache_capacity = std::stoul(value(i));
+    } else if (flag == "--coalesce-window") {
+      options.coalesce_window_us = std::stoull(value(i));
+    } else if (flag == "--coalesce-max") {
+      options.coalesce_max = static_cast<std::uint32_t>(std::stoul(value(i)));
     } else if (flag == "--max-nodes") {
       options.limits.max_nodes = std::stoul(value(i));
     } else if (flag == "--max-payload") {
